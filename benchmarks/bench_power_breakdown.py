@@ -1,0 +1,39 @@
+"""E1 — Power breakdown per Eqn 1 (claim C1: switching > 90%).
+
+Paper (§I, [8]): in well-designed CMOS logic, switching-activity power
+accounts for over 90% of total dissipation.  We evaluate Eqn 1 on four
+circuit families at the default mid-90s operating point.
+"""
+
+from repro.core.report import format_table
+from repro.logic.generators import (alu_slice, array_multiplier,
+                                    comparator, ripple_carry_adder)
+from repro.power.model import average_power
+
+from conftest import emit
+
+CIRCUITS = [
+    ("rca16", lambda: ripple_carry_adder(16)),
+    ("cmp16", lambda: comparator(16)),
+    ("mult6", lambda: array_multiplier(6)),
+    ("alu8", lambda: alu_slice(8)),
+]
+
+
+def breakdown_table():
+    rows = []
+    for name, make in CIRCUITS:
+        rep = average_power(make(), num_vectors=512, seed=1)
+        rows.append([name, rep.total * 1e6, rep.switching * 1e6,
+                     rep.short_circuit * 1e6, rep.leakage * 1e6,
+                     rep.switching_fraction])
+    return rows
+
+
+def bench_power_breakdown(benchmark):
+    rows = benchmark(breakdown_table)
+    emit("E1: power breakdown (uW)", format_table(
+        ["circuit", "total", "switching", "short-circuit", "leakage",
+         "sw fraction"], rows))
+    for row in rows:
+        assert row[5] > 0.85, f"{row[0]}: switching fraction {row[5]}"

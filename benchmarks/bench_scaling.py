@@ -1,0 +1,52 @@
+"""A7 — Runtime scaling of the core engines.
+
+Not a paper claim but an adoption question: how do the estimators and
+the mapper scale with netlist size?  The bit-parallel zero-delay
+simulator should be near-linear in gates; the event-driven simulator
+pays per transition; mapping pays per cut.  Loose monotonic-growth
+assertions guard against accidental quadratic blowups in the hot paths.
+"""
+
+import time
+
+from repro.core.report import format_table
+from repro.library.cells import generic_library
+from repro.logic.generators import random_logic
+from repro.opt.logic.mapping import tech_map
+from repro.power.activity import activity_from_simulation
+from repro.power.glitch import glitch_report
+
+from conftest import emit
+
+SIZES = [50, 100, 200, 400]
+
+
+def scaling_rows():
+    lib = generic_library()
+    rows = []
+    for gates in SIZES:
+        net = random_logic(16, gates, seed=1)
+        t0 = time.perf_counter()
+        activity_from_simulation(net, num_vectors=512, seed=1)
+        t_mc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        glitch_report(net, num_vectors=48, seed=1)
+        t_ev = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tech_map(net, lib, "area")
+        t_map = time.perf_counter() - t0
+        rows.append([gates, t_mc * 1e3, t_ev * 1e3, t_map * 1e3])
+    return rows
+
+
+def bench_scaling(benchmark):
+    rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    emit("A7: runtime scaling (ms)", format_table(
+        ["gates", "MC activity (512v)", "event sim (48v)",
+         "area mapping"], rows))
+    # 8x the gates should cost well under 64x in each engine
+    # (guards against accidentally quadratic hot paths).
+    first, last = rows[0], rows[-1]
+    factor = last[0] / first[0]
+    for col in (1, 2, 3):
+        assert last[col] < first[col] * factor ** 2 * 4, col

@@ -1,0 +1,102 @@
+"""E7 — Technology mapping for low power (claim C7).
+
+Paper (§III-B, [43]/[48]/[26]): extending DAGON's tree covering to a
+power cost function trades area for measurably less power than the
+area-driven mapping of the same subject graph.
+"""
+
+from repro.core.report import format_table
+from repro.library.cells import generic_library
+from repro.logic.generators import (comparator, equality_checker,
+                                    ripple_carry_adder)
+from repro.opt.logic.mapping import tech_map
+from repro.power.model import average_power
+from repro.sim.functional import verify_equivalence
+
+from conftest import emit
+
+CIRCUITS = [
+    ("rca6", lambda: ripple_carry_adder(6)),
+    ("cmp8", lambda: comparator(8)),
+    ("eq8", lambda: equality_checker(8)),
+]
+
+
+def mapping_sweep():
+    lib = generic_library()
+    rows = []
+    for name, make in CIRCUITS:
+        net = make()
+        res_a = tech_map(net, lib, "area", seed=1)
+        res_p = tech_map(net, lib, "power", seed=1)
+        assert verify_equivalence(net, res_a.mapped, 128)
+        assert verify_equivalence(net, res_p.mapped, 128)
+        p_area = average_power(res_a.mapped, 512, seed=5).total
+        p_power = average_power(res_p.mapped, 512, seed=5).total
+        rows.append([name, res_a.total_area, res_p.total_area,
+                     p_area * 1e6, p_power * 1e6,
+                     1 - p_power / p_area])
+    return rows
+
+
+def decomposition_rows():
+    """[48] ablation: balanced vs probability-ordered subject graphs
+    under skewed input statistics (wide-gate decoder)."""
+    from repro.logic.gates import GateType
+    from repro.logic.netlist import Network
+    from repro.sim.functional import verify_equivalence_exact
+
+    lib = generic_library()
+    # Wide-gate "address match" logic: the decomposition style decides
+    # the chain order inside each wide AND.
+    net = Network("widedec")
+    names = [f"s{i}" for i in range(5)] + ["en"]
+    net.add_inputs(names)
+    for code in range(4):
+        lits = [names[i] if (code >> i) & 1 else
+                net.add_gate(f"n{code}_{i}", GateType.NOT, [names[i]])
+                for i in range(5)]
+        net.add_gate(f"o{code}", GateType.AND, lits + ["en"])
+        net.set_output(f"o{code}")
+    probs = {f"s{i}": 0.1 for i in range(5)}
+    probs["en"] = 0.95
+    from repro.logic.transform import decompose_to_primitives
+
+    rows = []
+    for style in ("balanced", "power"):
+        subject = decompose_to_primitives(net, input_probs=probs,
+                                          decomposition=style)
+        p_subject = average_power(subject, 1024, seed=6,
+                                  input_probs=probs).total
+        res = tech_map(net, lib, "power", decomposition=style,
+                       input_probs=probs, seed=2)
+        assert verify_equivalence_exact(net, res.mapped)
+        p_mapped = average_power(res.mapped, 1024, seed=6,
+                                 input_probs=probs).total
+        rows.append([style, p_subject * 1e6, res.total_area,
+                     p_mapped * 1e6])
+    return rows
+
+
+def bench_tech_mapping(benchmark):
+    rows = benchmark.pedantic(mapping_sweep, rounds=2, iterations=1)
+    emit("E7: area- vs power-driven mapping", format_table(
+        ["circuit", "area(A)", "area(P)", "power(A) uW", "power(P) uW",
+         "power saving"], rows))
+    for row in rows:
+        # Power mapping wins clearly on power (it buys the low-cap lp
+        # cells) and pays for it in area — the classic [43] trade.
+        assert row[5] > 0.15, row
+        assert row[2] > row[1], row
+
+    drows = decomposition_rows()
+    emit("E7b: decomposition style under skewed statistics ([48])",
+         format_table(["subject graph", "unmapped power uW", "area",
+                       "mapped power uW"], drows))
+    balanced, power = drows
+    # The probability-ordered chains win on the raw subject graph
+    # (modestly here — output loads and inverters are order-invariant);
+    # after the 4-cut matcher re-covers the structure the two styles
+    # converge (the covering largely absorbs the decomposition).
+    assert power[1] < 0.98 * balanced[1]
+    assert power[3] <= balanced[3] * 1.05

@@ -1,0 +1,21 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one table/claim from DESIGN.md's experiment
+index (E1–E15 plus ablations).  Conventions:
+
+* the *shape* of the claim is asserted (who wins, roughly by how much);
+* the central computation runs under pytest-benchmark so wall-clock
+  costs are tracked;
+* the reproduced table is printed (visible with ``pytest -s`` and kept
+  in EXPERIMENTS.md).
+"""
+
+import sys
+
+import pytest
+
+sys.stdout.reconfigure(line_buffering=True)
+
+
+def emit(title: str, table: str) -> None:
+    print(f"\n=== {title} ===\n{table}")

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Sequential low power: state encoding + self-loop clock gating.
+
+Takes a KISS-format FSM, compares encodings (natural, greedy, annealed,
+one-hot) on register switching and synthesized power, then applies
+Benini/De Micheli self-loop clock gating on top of the best encoding
+and reports the combined saving including clock-tree power.
+"""
+
+import random
+
+from repro.core.report import format_table
+from repro.opt.seq.encoding import (encode_anneal, encode_greedy,
+                                    encode_natural, encode_onehot,
+                                    evaluate_encoding)
+from repro.opt.seq.gated_clock import clock_power, self_loop_clock_gating
+from repro.opt.seq.stg import read_kiss
+from repro.power.activity import sequential_activity
+from repro.power.model import power_report
+from repro.sim.functional import sequential_transitions
+
+# A bursty protocol controller: mostly idle, occasionally walks a
+# 6-state handshake.  Completely specified (2 inputs).
+KISS = """
+.i 2
+.o 1
+.r idle
+11 idle  req1  0
+0- idle  idle  0
+10 idle  idle  0
+11 req1  req2  0
+0- req1  idle  0
+10 req1  req1  0
+11 req2  xfer  0
+0- req2  idle  0
+10 req2  req2  0
+11 xfer  ack1  1
+0- xfer  xfer  1
+10 xfer  xfer  1
+11 ack1  ack2  1
+0- ack1  ack1  1
+10 ack1  ack1  1
+11 ack2  idle  0
+0- ack2  ack2  0
+10 ack2  ack2  0
+.e
+"""
+
+
+def main() -> None:
+    stg = read_kiss(KISS)
+    print(f"FSM: {stg}")
+    print(f"self-loop probability (uniform inputs): "
+          f"{stg.self_loop_probability():.2f}\n")
+
+    # -- encoding comparison -------------------------------------------
+    rows = []
+    encoders = [("natural", encode_natural(stg)),
+                ("greedy", encode_greedy(stg)),
+                ("anneal", encode_anneal(stg, iterations=3000, seed=1)),
+                ("one-hot", encode_onehot(stg))]
+    best = None
+    for name, enc in encoders:
+        res = evaluate_encoding(stg, enc, sequence_length=1000, seed=2)
+        rows.append([name, res.register_cost, res.literals,
+                     res.total_power * 1e6])
+        if best is None or res.register_cost < best[1].register_cost:
+            best = (name, res, enc)
+    print(format_table(["encoding", "FF transitions/cycle",
+                        "logic literals", "power uW"], rows))
+    print(f"\nbest encoding on register switching: {best[0]}\n")
+
+    # -- clock gating on top ---------------------------------------------
+    # Drive with a bursty, idle-dominated request pattern (x0·x1 is the
+    # "advance" condition): gating pays when the machine mostly idles;
+    # with uniform inputs the Fa logic's own power roughly breaks even.
+    gate = self_loop_clock_gating(stg, best[2])
+    rng = random.Random(3)
+    vecs = [{"x0": int(rng.random() < 0.25),
+             "x1": int(rng.random() < 0.25)}
+            for _ in range(1500)]
+    _, tb = sequential_transitions(gate.baseline, vecs)
+    _, tg = sequential_transitions(gate.network, vecs)
+    assert [t["z0"] for t in tb] == [t["z0"] for t in tg], \
+        "clock gating changed the FSM behaviour!"
+    enable_rate = sum(t["_fa_n"] for t in tg) / len(tg)
+
+    p_base = power_report(
+        gate.baseline, sequential_activity(gate.baseline, vecs)).total \
+        + clock_power(gate.baseline, {})
+    p_gate = power_report(
+        gate.network, sequential_activity(gate.network, vecs)).total \
+        + clock_power(gate.network,
+                      {l.output: enable_rate
+                       for l in gate.network.latches})
+    print(f"clock gating: activation Fa covers "
+          f"{gate.activation_probability:.0%} of cycles "
+          f"({gate.fa_literals} literals of gating logic)")
+    print(f"measured enable rate : {enable_rate:.2f}")
+    print(f"power incl. clock    : {p_base * 1e6:.2f} uW -> "
+          f"{p_gate * 1e6:.2f} uW "
+          f"({1 - p_gate / p_base:+.1%} saving)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Figure 1 of the paper: precomputation applied to a comparator.
+
+Builds the n-bit C > D comparator, wraps it in the sequential
+precomputation architecture (LE = C<n-1> XNOR D<n-1> gating the
+low-order input registers), verifies cycle-accurate equivalence against
+the ungated registered baseline, and measures the power saving as a
+function of the width n.
+"""
+
+import random
+
+from repro.core.report import format_table
+from repro.logic.generators import comparator
+from repro.opt.seq.precompute import (precomputed_comparator,
+                                      select_precompute_inputs)
+from repro.power.activity import sequential_activity
+from repro.power.model import power_report
+from repro.sim.functional import sequential_transitions
+
+
+def drive(n, count, seed):
+    rng = random.Random(seed)
+    vecs = []
+    for _ in range(count):
+        c, d = rng.getrandbits(n), rng.getrandbits(n)
+        v = {f"c{i}": (c >> i) & 1 for i in range(n)}
+        v.update({f"d{i}": (d >> i) & 1 for i in range(n)})
+        vecs.append(v)
+    return vecs
+
+
+def main() -> None:
+    print("Which inputs best predict the comparator output?")
+    sel = select_precompute_inputs(comparator(6), 2)
+    print(f"  automatic selection on cmp6: {sel} "
+          "(the MSB pair, as in Figure 1)\n")
+
+    rows = []
+    for n in (4, 8, 16):
+        pre = precomputed_comparator(n)
+        vecs = drive(n, 500, seed=n)
+
+        # Cycle-accurate check: gated and baseline outputs agree.
+        _, tb = sequential_transitions(pre.baseline, vecs)
+        _, tg = sequential_transitions(pre.network, vecs)
+        out = pre.baseline.outputs[0]
+        assert [t[out] for t in tb][1:] == [t[out] for t in tg][1:], \
+            "gated design diverged!"
+
+        p_base = power_report(
+            pre.baseline, sequential_activity(pre.baseline, vecs)).total
+        p_gate = power_report(
+            pre.network, sequential_activity(pre.network, vecs)).total
+        rows.append([f"cmp{n}", pre.disable_probability,
+                     pre.le_literals, p_base * 1e6, p_gate * 1e6,
+                     1 - p_gate / p_base])
+
+    print(format_table(
+        ["comparator", "P(registers held)", "LE logic (lits)",
+         "baseline uW", "precomputed uW", "saving"], rows))
+    print("\nThe hold probability is exactly 1/2 (MSBs differ half the "
+          "time on\nuniform inputs) and the saving grows with n: the "
+          "disabled cone is the\nwhole low-order datapath.")
+
+
+if __name__ == "__main__":
+    main()

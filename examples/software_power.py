@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Software power analysis and optimization (Section V of the paper).
+
+Demonstrates the instruction-level methodology end to end:
+  1. fit a Tiwari-style instruction power model against the ISS,
+  2. show that faster code is lower-energy code (register pressure),
+  3. cheaper instruction selection (strength reduction, MAC packing),
+  4. cold scheduling: big win on the DSP, noise on the big CPU.
+"""
+
+from repro.core.report import format_table
+from repro.sw.compile import (linear_scan_allocate, peephole_mac,
+                              strength_reduce)
+from repro.sw.cpu import CPU, big_cpu_profile, dsp_profile
+from repro.sw.power_model import fit_instruction_model
+from repro.sw.programs import (dot_product, fir_kernel, mixed_block,
+                               scale_by_constant)
+from repro.sw.schedule import cold_schedule, control_path_switching
+
+
+def main() -> None:
+    dsp = CPU(dsp_profile())
+    big = CPU(big_cpu_profile())
+
+    # -- 1: model fitting ------------------------------------------------
+    print("fitting the instruction-level power model on the DSP ...")
+    model = fit_instruction_model(dsp, repetitions=100)
+    prog, mem, _ = dot_product(6)
+    alloc = linear_scan_allocate(prog, 8)
+    err = model.prediction_error(dsp, alloc)
+    print(f"  base(add) = {model.base['add']:.2f} nJ, "
+          f"overhead(add,ld) = {model.pair_overhead('add', 'ld'):.2f} "
+          f"nJ")
+    print(f"  whole-program prediction error: {err:.2%}\n")
+
+    # -- 2: register allocation ------------------------------------------
+    rows = []
+    for regs in (3, 4, 6, 12):
+        res = big.run(linear_scan_allocate(prog, regs),
+                      memory=dict(mem))
+        rows.append([f"{regs} registers", res.cycles, res.energy])
+    print(format_table(["allocation", "cycles", "energy nJ"], rows))
+    print("  -> faster code IS lower-energy code\n")
+
+    # -- 3: instruction selection ------------------------------------------
+    sp, smem, _ = scale_by_constant(6, 8)
+    r_mul = big.run(linear_scan_allocate(sp, 8), memory=dict(smem))
+    r_shl = big.run(linear_scan_allocate(strength_reduce(sp), 8),
+                    memory=dict(smem))
+    print(f"scale-by-8 kernel : mul {r_mul.energy:.1f} nJ -> "
+          f"shl {r_shl.energy:.1f} nJ")
+
+    fp, fmem, _ = fir_kernel(8)
+    r_plain = dsp.run(linear_scan_allocate(fp, 8), memory=dict(fmem))
+    r_mac = dsp.run(linear_scan_allocate(peephole_mac(fp), 8),
+                    memory=dict(fmem))
+    print(f"fir8 on the DSP   : mul+add {r_plain.energy:.1f} nJ -> "
+          f"mac {r_mac.energy:.1f} nJ\n")
+
+    # -- 4: cold scheduling ---------------------------------------------------
+    prog_m = mixed_block()
+    cold = cold_schedule(prog_m)
+    rows = []
+    for label, cpu in [("small DSP", dsp), ("big CPU", big)]:
+        orig, opt = cpu.run(prog_m), cpu.run(cold)
+        rows.append([label,
+                     control_path_switching(orig.opcode_trace),
+                     control_path_switching(opt.opcode_trace),
+                     orig.energy, opt.energy,
+                     f"{1 - opt.energy / orig.energy:.1%}"])
+    print(format_table(["cpu", "opcode flips before", "after",
+                        "E before nJ", "E after nJ", "saving"], rows))
+    print("  -> instruction order matters on the DSP, barely on the "
+          "big CPU\n     (the [40] vs [46] contrast the paper "
+          "describes)")
+
+
+if __name__ == "__main__":
+    main()

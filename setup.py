@@ -1,0 +1,6 @@
+"""Setuptools shim so `python setup.py develop` works in offline
+environments lacking the `wheel` package (PEP 660 editable installs
+need it; `develop` does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — a low-power VLSI optimization framework.
+
+This package reproduces the CAD system surveyed in Devadas & Malik,
+"A Survey of Optimization Techniques Targeting Low Power VLSI Circuits"
+(DAC 1995).  It provides, from scratch:
+
+* a two-level and multi-level Boolean logic engine (``repro.logic``),
+* a hash-consed ROBDD package (``repro.bdd``),
+* zero-delay and event-driven gate-level simulators (``repro.sim``),
+* switching-activity estimation and CMOS power models (``repro.power``),
+* a generic technology library (``repro.library``),
+* the surveyed optimizations at the circuit, logic, sequential,
+  datapath, architecture and software levels (``repro.opt``,
+  ``repro.arch``, ``repro.sw``),
+* flow drivers and reporting (``repro.core``).
+"""
+
+__version__ = "1.0.0"
+
+from repro.logic.netlist import Network, Latch
+from repro.power.model import PowerParameters, PowerReport
+
+__all__ = ["Network", "Latch", "PowerParameters", "PowerReport", "__version__"]

@@ -1,0 +1,40 @@
+"""Architecture / behavioral level (Section IV): DFGs, scheduling,
+allocation and binding, module power models, transformations."""
+
+from repro.arch.dfg import DFG, Operation, fir_dfg, iir_biquad_dfg, \
+    chained_sum_dfg
+from repro.arch.scheduling import asap_schedule, alap_schedule, \
+    list_schedule, schedule_length, force_directed_schedule
+from repro.arch.selection import select_modules, SelectionResult
+from repro.arch.rtl import (synthesize_datapath, run_iteration,
+                            RTLResult)
+from repro.arch.allocation import (bind_operations, BindingResult,
+                                   binding_switched_capacitance,
+                                   bind_registers,
+                                   RegisterBindingResult,
+                                   profile_values)
+from repro.arch.power_models import (Module, ModuleLibrary,
+                                     default_module_library,
+                                     pfa_power, activity_power,
+                                     characterize_module)
+from repro.arch.transforms import (voltage_for_slowdown, scaled_power,
+                                   tree_height_reduction, unroll,
+                                   VoltageScalingResult,
+                                   transform_and_scale)
+from repro.arch.memory import (MemoryHierarchy, loop_access_trace,
+                               tiled_access_trace, memory_energy,
+                               best_loop_order)
+
+__all__ = ["DFG", "Operation", "fir_dfg", "iir_biquad_dfg",
+           "chained_sum_dfg", "asap_schedule", "alap_schedule",
+           "list_schedule", "schedule_length", "force_directed_schedule",
+           "select_modules", "SelectionResult", "bind_operations",
+           "bind_registers", "RegisterBindingResult", "profile_values",
+           "synthesize_datapath", "run_iteration", "RTLResult",
+           "BindingResult", "binding_switched_capacitance", "Module",
+           "ModuleLibrary", "default_module_library", "pfa_power",
+           "activity_power", "characterize_module",
+           "voltage_for_slowdown", "scaled_power",
+           "tree_height_reduction", "unroll", "VoltageScalingResult",
+           "transform_and_scale", "MemoryHierarchy", "loop_access_trace", "tiled_access_trace",
+           "memory_energy", "best_loop_order"]

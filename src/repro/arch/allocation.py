@@ -1,0 +1,262 @@
+"""Allocation and binding minimizing switched capacitance
+(Section IV-B; [33], [34] Raghunathan & Jha, [17] module selection).
+
+When two operations share a functional unit in consecutive control
+steps, the unit's inputs swing by the Hamming distance between the
+operand values.  Binding therefore matters: correlated operations should
+share units.  `bind_operations` profiles operand values on sample input
+streams and greedily assigns ops to unit instances so the summed
+inter-operation Hamming switching is minimal; `"naive"` binding
+(first-fit in schedule order) is the baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.dfg import DFG, OP_DELAY
+from repro.arch.scheduling import Schedule, required_units
+
+
+def _to_fixed(value: float, width: int = 16, frac: int = 8) -> int:
+    mask = (1 << width) - 1
+    return int(round(value * (1 << frac))) & mask
+
+
+def profile_operands(dfg: DFG, num_samples: int = 64, seed: int = 0,
+                     width: int = 16) -> Dict[str, List[Tuple[int, int]]]:
+    """Fixed-point operand traces per compute op over random inputs."""
+    rng = random.Random(seed)
+    traces: Dict[str, List[Tuple[int, int]]] = \
+        {o.name: [] for o in dfg.compute_ops()}
+    for _ in range(num_samples):
+        inputs = {name: rng.uniform(-1.0, 1.0) for name in dfg.inputs()}
+        values = dfg.evaluate(inputs)
+        for op in dfg.compute_ops():
+            a = values[op.operands[0]]
+            b = values[op.operands[1]] if len(op.operands) > 1 else 0.0
+            traces[op.name].append((_to_fixed(a, width),
+                                    _to_fixed(b, width)))
+    return traces
+
+
+def _pair_switching(trace_a: Sequence[Tuple[int, int]],
+                    trace_b: Sequence[Tuple[int, int]]) -> float:
+    """Average Hamming swing when op B follows op A on the same unit."""
+    total = 0
+    for (a0, a1), (b0, b1) in zip(trace_a, trace_b):
+        total += bin(a0 ^ b0).count("1") + bin(a1 ^ b1).count("1")
+    return total / max(1, len(trace_a))
+
+
+@dataclass
+class BindingResult:
+    """op name -> (unit type, instance index), plus the cost model."""
+
+    binding: Dict[str, Tuple[str, int]]
+    units: Dict[str, int]
+    switched_capacitance: float
+
+    def unit_sequences(self, dfg: DFG, schedule: Schedule
+                       ) -> Dict[Tuple[str, int], List[str]]:
+        seqs: Dict[Tuple[str, int], List[str]] = {}
+        for name, inst in self.binding.items():
+            seqs.setdefault(inst, []).append(name)
+        for inst in seqs:
+            seqs[inst].sort(key=lambda n: schedule[n])
+        return seqs
+
+
+def binding_switched_capacitance(dfg: DFG, schedule: Schedule,
+                                 binding: Dict[str, Tuple[str, int]],
+                                 traces: Dict[str, List[Tuple[int, int]]]
+                                 ) -> float:
+    """Σ over units of consecutive-op operand Hamming distances."""
+    seqs: Dict[Tuple[str, int], List[str]] = {}
+    for name, inst in binding.items():
+        seqs.setdefault(inst, []).append(name)
+    total = 0.0
+    for inst, names in seqs.items():
+        names.sort(key=lambda n: schedule[n])
+        for a, b in zip(names, names[1:]):
+            total += _pair_switching(traces[a], traces[b])
+    return total
+
+
+def profile_values(dfg: DFG, num_samples: int = 64, seed: int = 0,
+                   width: int = 16) -> Dict[str, List[int]]:
+    """Fixed-point *result* traces per compute op (register contents)."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    traces: Dict[str, List[int]] = {o.name: []
+                                    for o in dfg.compute_ops()}
+    for _ in range(num_samples):
+        inputs = {name: rng.uniform(-1.0, 1.0) for name in dfg.inputs()}
+        values = dfg.evaluate(inputs)
+        for op in dfg.compute_ops():
+            traces[op.name].append(_to_fixed(values[op.name], width))
+    return traces
+
+
+@dataclass
+class RegisterBindingResult:
+    """Variable-to-register assignment (left-edge allocation)."""
+
+    assignment: Dict[str, int]         # op name -> register index
+    num_registers: int
+    switching: float                   # Σ Hamming between co-resident values
+
+    def register_sequences(self) -> Dict[int, List[str]]:
+        seqs: Dict[int, List[str]] = {}
+        for name, reg in self.assignment.items():
+            seqs.setdefault(reg, []).append(name)
+        return seqs
+
+
+def _lifetimes(dfg: DFG, schedule: Schedule
+               ) -> Dict[str, Tuple[int, int]]:
+    """[definition, last-use) interval of every compute op's result."""
+    delays = OP_DELAY
+    consumers = dfg.consumers()
+    lifetimes: Dict[str, Tuple[int, int]] = {}
+    for op in dfg.compute_ops():
+        born = schedule[op.name] + delays.get(op.op, 1)
+        last = born
+        for reader in consumers[op.name]:
+            last = max(last, schedule[reader] + 1)
+        lifetimes[op.name] = (born, last)
+    return lifetimes
+
+
+def _register_switching(assignment: Dict[str, int],
+                        lifetimes: Dict[str, Tuple[int, int]],
+                        traces: Dict[str, List[int]]) -> float:
+    total = 0.0
+    seqs: Dict[int, List[str]] = {}
+    for name, reg in assignment.items():
+        seqs.setdefault(reg, []).append(name)
+    for reg, names in seqs.items():
+        names.sort(key=lambda n: lifetimes[n][0])
+        for a, b in zip(names, names[1:]):
+            ta, tb = traces[a], traces[b]
+            total += sum(bin(x ^ y).count("1")
+                         for x, y in zip(ta, tb)) / max(1, len(ta))
+    return total
+
+
+def bind_registers(dfg: DFG, schedule: Schedule,
+                   strategy: str = "low-power",
+                   traces: Optional[Dict[str, List[int]]] = None,
+                   num_samples: int = 64, seed: int = 0
+                   ) -> RegisterBindingResult:
+    """Left-edge register allocation for the scheduled DFG's values.
+
+    ``"naive"`` takes the lowest-numbered free register (the classical
+    left-edge rule); ``"low-power"`` picks, among free registers, the
+    one whose previous resident value is most correlated with the new
+    one (minimum average Hamming distance, [33]'s register objective).
+    Both use the minimum register count.
+    """
+    if strategy not in ("naive", "low-power"):
+        raise ValueError("strategy must be 'naive' or 'low-power'")
+    if traces is None:
+        traces = profile_values(dfg, num_samples, seed)
+    lifetimes = _lifetimes(dfg, schedule)
+    order = sorted(lifetimes, key=lambda n: (lifetimes[n][0],
+                                             lifetimes[n][1]))
+    free_at: List[int] = []          # per register: time it frees up
+    last_value: List[Optional[str]] = []
+    assignment: Dict[str, int] = {}
+    for name in order:
+        start, end = lifetimes[name]
+        candidates = [r for r, t in enumerate(free_at) if t <= start]
+        if not candidates:
+            reg = len(free_at)
+            free_at.append(end)
+            last_value.append(name)
+        else:
+            if strategy == "naive":
+                reg = candidates[0]
+            else:
+                def cost(r: int) -> float:
+                    prev = last_value[r]
+                    if prev is None:
+                        return 0.0
+                    ta, tb = traces[prev], traces[name]
+                    return sum(bin(x ^ y).count("1")
+                               for x, y in zip(ta, tb)) / \
+                        max(1, len(ta))
+                reg = min(candidates, key=lambda r: (cost(r), r))
+            free_at[reg] = end
+            last_value[reg] = name
+        assignment[name] = reg
+    return RegisterBindingResult(
+        assignment=assignment, num_registers=len(free_at),
+        switching=_register_switching(assignment, lifetimes, traces))
+
+
+def bind_operations(dfg: DFG, schedule: Schedule,
+                    strategy: str = "low-power",
+                    traces: Optional[Dict[str, List[Tuple[int, int]]]]
+                    = None,
+                    num_samples: int = 64, seed: int = 0
+                    ) -> BindingResult:
+    """Bind scheduled operations to functional-unit instances.
+
+    ``strategy`` is ``"naive"`` (first-free in schedule order),
+    ``"low-power"`` (greedy minimum incremental operand switching, the
+    [33] objective), or ``"worst"`` (greedy *maximum* switching — an
+    experimental upper bound that brackets how much binding can matter).
+    """
+    if strategy not in ("naive", "low-power", "worst"):
+        raise ValueError("strategy must be 'naive', 'low-power' or "
+                         "'worst'")
+    if traces is None:
+        traces = profile_operands(dfg, num_samples, seed)
+    units = required_units(dfg, schedule)
+    delays = OP_DELAY
+    binding: Dict[str, Tuple[str, int]] = {}
+    # Per instance: list of (start, end, opname) intervals and last op.
+    occupancy: Dict[Tuple[str, int], List[Tuple[int, int, str]]] = {}
+    for optype, count in units.items():
+        for k in range(count):
+            occupancy[(optype, k)] = []
+
+    ops = sorted((o for o in dfg.compute_ops()),
+                 key=lambda o: schedule[o.name])
+    for op in ops:
+        s = schedule[op.name]
+        e = s + delays.get(op.op, 1)
+        candidates = []
+        for k in range(units[op.op]):
+            inst = (op.op, k)
+            busy = any(not (e <= bs or s >= be)
+                       for bs, be, _n in occupancy[inst])
+            if busy:
+                continue
+            prior = [n for bs, be, n in occupancy[inst] if be <= s]
+            if prior:
+                last = max(prior,
+                           key=lambda n: schedule[n] +
+                           delays.get(dfg.ops[n].op, 1))
+                cost = _pair_switching(traces[last], traces[op.name])
+            else:
+                cost = 0.0
+            candidates.append((cost, k, inst))
+        if not candidates:
+            raise RuntimeError(
+                f"no free {op.op} unit for {op.name} at step {s}")
+        if strategy == "naive":
+            _cost, _k, inst = min(candidates, key=lambda c: c[1])
+        elif strategy == "worst":
+            _cost, _k, inst = max(candidates)
+        else:
+            _cost, _k, inst = min(candidates)
+        occupancy[inst].append((s, e, op.name))
+        binding[op.name] = inst
+    cap = binding_switched_capacitance(dfg, schedule, binding, traces)
+    return BindingResult(binding=binding, units=units,
+                         switched_capacitance=cap)

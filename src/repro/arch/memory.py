@@ -1,0 +1,177 @@
+"""Memory power optimization (Section IV-B; [14] Catthoor et al.).
+
+Memory hits power twice: per-access energy grows with memory size (and
+jumps for off-chip), so the goal of control-flow transformations such as
+loop reordering is to serve most accesses from a small foreground
+buffer.  The model here is a two-level hierarchy with a direct-mapped
+buffer; traces are generated from loop nests so the effect of loop
+order on locality — and hence on memory energy — is directly measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Energy parameters of a two-level memory system.
+
+    Per-access energies follow the size^0.5 rule of thumb for on-chip
+    SRAM; the background store can be flagged off-chip, which multiplies
+    its access energy (I/O drivers + board capacitance).
+    """
+
+    buffer_words: int = 64
+    background_words: int = 65536
+    energy_unit: float = 1e-12      # J, energy scale
+    offchip: bool = True
+    offchip_penalty: float = 10.0
+
+    def buffer_energy(self) -> float:
+        return self.energy_unit * (self.buffer_words ** 0.5)
+
+    def background_energy(self) -> float:
+        e = self.energy_unit * (self.background_words ** 0.5)
+        if self.offchip:
+            e *= self.offchip_penalty
+        return e
+
+
+def loop_access_trace(shape: Sequence[int], order: Sequence[int],
+                      strides: Optional[Sequence[int]] = None
+                      ) -> List[int]:
+    """Addresses touched by a row-major array walked in a loop order.
+
+    ``shape`` gives the loop bounds (innermost dimension last in
+    declaration order); ``order`` permutes which loop runs innermost
+    (last element of ``order`` is innermost).  The array is laid out
+    row-major, so ``order == range(len(shape))`` is the unit-stride
+    walk.
+    """
+    dims = len(shape)
+    if sorted(order) != list(range(dims)):
+        raise ValueError("order must permute the dimensions")
+    if strides is None:
+        strides = [1] * dims
+        for d in range(dims - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+    trace: List[int] = []
+    idx = [0] * dims
+
+    def walk(level: int) -> None:
+        if level == dims:
+            trace.append(sum(idx[d] * strides[d] for d in range(dims)))
+            return
+        d = order[level]
+        for i in range(shape[d]):
+            idx[d] = i
+            walk(level + 1)
+
+    walk(0)
+    return trace
+
+
+def memory_energy(trace: Sequence[int],
+                  hierarchy: Optional[MemoryHierarchy] = None,
+                  line_words: int = 4,
+                  associative: bool = False) -> Tuple[float, int, int]:
+    """Energy of serving a trace through the foreground buffer.
+
+    Returns ``(energy_joules, hits, misses)``.  Every access pays the
+    buffer energy; misses additionally pay a ``line_words``-word refill
+    from the background memory.  ``associative`` selects a fully
+    associative LRU buffer (the software-managed foreground memories of
+    [14]); the default is a direct-mapped hardware cache.
+    """
+    from collections import OrderedDict
+
+    h = hierarchy or MemoryHierarchy()
+    lines = max(1, h.buffer_words // line_words)
+    hits = misses = 0
+    if associative:
+        lru: "OrderedDict[int, None]" = OrderedDict()
+        for addr in trace:
+            line = addr // line_words
+            if line in lru:
+                hits += 1
+                lru.move_to_end(line)
+            else:
+                misses += 1
+                lru[line] = None
+                if len(lru) > lines:
+                    lru.popitem(last=False)
+    else:
+        tags: Dict[int, int] = {}
+        for addr in trace:
+            line = addr // line_words
+            slot = line % lines
+            if tags.get(slot) == line:
+                hits += 1
+            else:
+                misses += 1
+                tags[slot] = line
+    energy = len(trace) * h.buffer_energy() + \
+        misses * line_words * h.background_energy()
+    return energy, hits, misses
+
+
+def tiled_access_trace(shape: Sequence[int], tile: Sequence[int],
+                       order: Optional[Sequence[int]] = None
+                       ) -> List[int]:
+    """Addresses of a *tiled* (blocked) loop nest over a row-major array.
+
+    Tiling is the other control-flow transformation of [14]: the loop
+    nest is split so a ``tile``-shaped block is fully traversed before
+    moving on, keeping the working set inside the foreground buffer even
+    when no single loop order has locality.
+    """
+    dims = len(shape)
+    if len(tile) != dims:
+        raise ValueError("tile rank must match the array rank")
+    order = list(order) if order is not None else list(range(dims))
+    strides = [1] * dims
+    for d in range(dims - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    trace: List[int] = []
+    base = [0] * dims
+
+    def walk_tile(level: int, idx: List[int]) -> None:
+        if level == dims:
+            trace.append(sum(idx[d] * strides[d] for d in range(dims)))
+            return
+        d = order[level]
+        for i in range(base[d], min(base[d] + tile[d], shape[d])):
+            idx[d] = i
+            walk_tile(level + 1, idx)
+
+    def walk_blocks(level: int) -> None:
+        if level == dims:
+            walk_tile(0, [0] * dims)
+            return
+        d = order[level]
+        for start in range(0, shape[d], tile[d]):
+            base[d] = start
+            walk_blocks(level + 1)
+
+    walk_blocks(0)
+    return trace
+
+
+def best_loop_order(shape: Sequence[int],
+                    hierarchy: Optional[MemoryHierarchy] = None,
+                    line_words: int = 4
+                    ) -> Tuple[Tuple[int, ...], Dict[Tuple[int, ...], float]]:
+    """Exhaustive loop-order search (the [14] transformation space).
+
+    Returns the minimum-energy order and the energy of every order.
+    """
+    results: Dict[Tuple[int, ...], float] = {}
+    for order in permutations(range(len(shape))):
+        trace = loop_access_trace(shape, order)
+        energy, _h, _m = memory_energy(trace, hierarchy, line_words)
+        results[order] = energy
+    best = min(results, key=results.get)
+    return best, results

@@ -1,0 +1,221 @@
+"""Operation scheduling (Section IV-B: control-step assignment).
+
+ASAP/ALAP give the mobility range; resource-constrained list scheduling
+assigns control steps under functional-unit limits.  Schedules map each
+compute operation to the control step in which it *starts*; multi-cycle
+operations (``mul``) occupy their unit for their full latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.dfg import DFG, OP_DELAY
+
+Schedule = Dict[str, int]
+
+
+def asap_schedule(dfg: DFG,
+                  delays: Optional[Dict[str, int]] = None) -> Schedule:
+    delays = delays or OP_DELAY
+    start: Schedule = {}
+    for name in dfg.topo_order():
+        op = dfg.ops[name]
+        t = 0
+        for src in op.operands:
+            s = dfg.ops[src]
+            t = max(t, start[src] + delays.get(s.op, 1))
+        start[name] = t
+    return start
+
+
+def alap_schedule(dfg: DFG, latency: Optional[int] = None,
+                  delays: Optional[Dict[str, int]] = None) -> Schedule:
+    delays = delays or OP_DELAY
+    if latency is None:
+        latency = dfg.critical_path(delays)
+    consumers = dfg.consumers()
+    start: Schedule = {}
+    for name in reversed(dfg.topo_order()):
+        op = dfg.ops[name]
+        d = delays.get(op.op, 1)
+        readers = consumers[name]
+        if not readers:
+            start[name] = latency - d
+        else:
+            start[name] = min(start[r] for r in readers) - d
+    return start
+
+
+def schedule_length(dfg: DFG, schedule: Schedule,
+                    delays: Optional[Dict[str, int]] = None) -> int:
+    delays = delays or OP_DELAY
+    end = 0
+    for name, t in schedule.items():
+        end = max(end, t + delays.get(dfg.ops[name].op, 1))
+    return end
+
+
+def list_schedule(dfg: DFG, resources: Dict[str, int],
+                  delays: Optional[Dict[str, int]] = None) -> Schedule:
+    """Resource-constrained list scheduling (priority = ALAP slack).
+
+    ``resources`` maps op type to unit count, e.g. ``{"add": 1,
+    "mul": 2}``.  Zero-delay ops (inputs/consts/outputs) are scheduled
+    at their dependency frontier and consume no resources.
+    """
+    delays = delays or OP_DELAY
+    alap = alap_schedule(dfg, None, delays)
+    start: Schedule = {}
+    unscheduled = set(dfg.ops)
+    busy: Dict[str, List[int]] = {}  # op type -> finish times in flight
+    step = 0
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 10000:
+            raise RuntimeError("list scheduling did not converge")
+        # Free units whose operations completed.
+        for optype in busy:
+            busy[optype] = [t for t in busy[optype] if t > step]
+        # Fixed point within the step: zero-delay ops scheduled now can
+        # immediately unlock their consumers at the same step.
+        progressed = True
+        while progressed:
+            progressed = False
+            ready = []
+            for name in sorted(unscheduled):
+                op = dfg.ops[name]
+                ok = True
+                for src in op.operands:
+                    s = dfg.ops[src]
+                    if src in unscheduled or \
+                            start[src] + delays.get(s.op, 1) > step:
+                        ok = False
+                        break
+                if ok:
+                    ready.append(name)
+            # Deterministic priority: ALAP slack, then name (set
+            # iteration order must not leak into the schedule).
+            ready.sort(key=lambda n: (alap[n], n))
+            for name in ready:
+                op = dfg.ops[name]
+                d = delays.get(op.op, 1)
+                if not op.is_compute() or d == 0:
+                    start[name] = step
+                    unscheduled.discard(name)
+                    progressed = True
+                    continue
+                limit = resources.get(op.op)
+                in_use = len(busy.get(op.op, []))
+                if limit is None or in_use < limit:
+                    start[name] = step
+                    unscheduled.discard(name)
+                    busy.setdefault(op.op, []).append(step + d)
+                    in_use += 1
+                    progressed = True
+        step += 1
+    return start
+
+
+def force_directed_schedule(dfg: DFG, latency: Optional[int] = None,
+                            delays: Optional[Dict[str, int]] = None
+                            ) -> Schedule:
+    """Force-directed scheduling (Paulin & Knight) under a latency bound.
+
+    Minimizes the peak per-type concurrency — and therefore the number
+    of allocated units, the dominant capacitance term — by placing each
+    operation at the control step with the lowest "force" against the
+    type-distribution graph.  This is the scheduler the [7]-era
+    behavioral synthesis systems used.
+    """
+    delays = delays or OP_DELAY
+    if latency is None:
+        latency = dfg.critical_path(delays)
+    asap = asap_schedule(dfg, delays)
+    alap = alap_schedule(dfg, latency, delays)
+    start: Schedule = {}
+    ops = [o for o in dfg.topo_order()]
+    unplaced = [n for n in ops if dfg.ops[n].is_compute() and
+                delays.get(dfg.ops[n].op, 1) > 0]
+    # Zero-delay ops ride along at their ASAP times.
+    for n in ops:
+        if n not in unplaced:
+            start[n] = asap[n]
+
+    def frames() -> Dict[str, Tuple[int, int]]:
+        """Current [earliest, latest] start for every unplaced op,
+        narrowed by already-placed predecessors/successors."""
+        lo = dict(asap)
+        hi = dict(alap)
+        for n in ops:
+            op = dfg.ops[n]
+            for src in op.operands:
+                d = delays.get(dfg.ops[src].op, 1)
+                base = start[src] if src in start else lo[src]
+                lo[n] = max(lo[n], base + d)
+        for n in reversed(ops):
+            op = dfg.ops[n]
+            d = delays.get(op.op, 1)
+            for src in op.operands:
+                cap = (start[n] if n in start else hi[n]) - \
+                    delays.get(dfg.ops[src].op, 1)
+                hi[src] = min(hi[src], cap)
+        return {n: (lo[n], hi[n]) for n in unplaced}
+
+    while unplaced:
+        window = frames()
+        # Distribution graph: expected occupancy per (type, step).
+        dist: Dict[Tuple[str, int], float] = {}
+
+        def add_occupancy(n: str, lo: int, hi: int, weight_span: int):
+            op = dfg.ops[n]
+            d = delays.get(op.op, 1)
+            span = max(1, weight_span)
+            for s in range(lo, hi + 1):
+                for k in range(d):
+                    key = (op.op, s + k)
+                    dist[key] = dist.get(key, 0.0) + 1.0 / span
+        for n in unplaced:
+            lo, hi = window[n]
+            add_occupancy(n, lo, hi, hi - lo + 1)
+        for n, s in start.items():
+            op = dfg.ops[n]
+            if op.is_compute() and delays.get(op.op, 1) > 0:
+                add_occupancy(n, s, s, 1)
+
+        # Pick the most constrained op; place at minimum-force step.
+        n = min(unplaced, key=lambda m: (window[m][1] - window[m][0],
+                                         m))
+        lo, hi = window[n]
+        op = dfg.ops[n]
+        d = delays.get(op.op, 1)
+        best_step, best_force = lo, float("inf")
+        for s in range(lo, hi + 1):
+            force = sum(dist.get((op.op, s + k), 0.0) for k in range(d))
+            if force < best_force:
+                best_step, best_force = s, force
+        start[n] = best_step
+        unplaced.remove(n)
+    return start
+
+
+def required_units(dfg: DFG, schedule: Schedule,
+                   delays: Optional[Dict[str, int]] = None
+                   ) -> Dict[str, int]:
+    """Peak concurrency per op type under a schedule (allocation size)."""
+    delays = delays or OP_DELAY
+    length = schedule_length(dfg, schedule, delays)
+    peak: Dict[str, int] = {}
+    for t in range(length):
+        count: Dict[str, int] = {}
+        for name, s in schedule.items():
+            op = dfg.ops[name]
+            if not op.is_compute():
+                continue
+            d = delays.get(op.op, 1)
+            if s <= t < s + d:
+                count[op.op] = count.get(op.op, 0) + 1
+        for k, v in count.items():
+            peak[k] = max(peak.get(k, 0), v)
+    return peak

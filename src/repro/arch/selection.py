@@ -1,0 +1,85 @@
+"""Automatic module selection under a latency constraint ([17]).
+
+Goodby/Orailoglu/Chau: with a library offering several power/delay
+variants per operation type, choose the slowest (lowest-capacitance)
+variant for each type that still lets the design meet its latency — the
+power analogue of technology selection.  The search is exhaustive over
+variant combinations per op type (libraries are small) with list
+scheduling as the feasibility oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Optional, Tuple
+
+from repro.arch.dfg import DFG, OP_DELAY
+from repro.arch.power_models import Module, ModuleLibrary
+from repro.arch.scheduling import Schedule, list_schedule, \
+    schedule_length
+from repro.power.model import PowerParameters
+
+
+@dataclass
+class SelectionResult:
+    """Chosen module per op type plus the resulting schedule."""
+
+    modules: Dict[str, Module]
+    schedule: Schedule
+    latency: int
+    power: float
+
+    def module_names(self) -> Dict[str, str]:
+        return {op: m.name for op, m in self.modules.items()}
+
+
+def select_modules(dfg: DFG, library: ModuleLibrary,
+                   latency_bound: Optional[int] = None,
+                   resources: Optional[Dict[str, int]] = None,
+                   params: Optional[PowerParameters] = None
+                   ) -> SelectionResult:
+    """Minimum-power module selection meeting ``latency_bound``.
+
+    ``latency_bound`` defaults to the latency achievable with the
+    fastest variants (so the result demonstrates pure slack recycling);
+    raise it to let slower, lower-power modules in.  ``resources``
+    bounds unit counts per type during scheduling.
+    """
+    from repro.arch.power_models import pfa_power
+
+    params = params or PowerParameters()
+    op_types = sorted({o.op for o in dfg.compute_ops()})
+    for op in op_types:
+        if not library.variants(op):
+            raise ValueError(f"library has no module for op {op!r}")
+    resources = resources or {}
+
+    def evaluate(combo: Tuple[Module, ...]
+                 ) -> Tuple[Schedule, int, float]:
+        modules = dict(zip(op_types, combo))
+        delays = dict(OP_DELAY)
+        for op, m in modules.items():
+            delays[op] = m.delay
+        schedule = list_schedule(dfg, resources, delays)
+        latency = schedule_length(dfg, schedule, delays)
+        power = pfa_power(dfg, schedule, modules, params)
+        return schedule, latency, power
+
+    if latency_bound is None:
+        fastest = tuple(library.fastest(op) for op in op_types)
+        _s, latency_bound, _p = evaluate(fastest)
+
+    best: Optional[SelectionResult] = None
+    for combo in product(*(library.variants(op) for op in op_types)):
+        schedule, latency, power = evaluate(combo)
+        if latency > latency_bound:
+            continue
+        if best is None or power < best.power:
+            best = SelectionResult(modules=dict(zip(op_types, combo)),
+                                   schedule=schedule, latency=latency,
+                                   power=power)
+    if best is None:
+        raise RuntimeError(
+            f"no module combination meets latency {latency_bound}")
+    return best

@@ -1,0 +1,203 @@
+"""Behavioral transformations enabling voltage scaling
+(Section IV-B; [7] Chandrakasan et al.).
+
+The central mechanism: a transformation that shortens the critical path
+(tree-height reduction) or raises concurrency (unrolling) creates slack
+at fixed throughput; the clock can then be slowed and V_DD lowered until
+the slack is consumed.  Delay follows the alpha-power law
+
+    d(V) ∝ V / (V − V_t)^α
+
+and switching power C·V²·f falls quadratically with V — more than
+paying for the extra capacitance the transformation introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.dfg import DFG, Operation
+
+
+def delay_factor(vdd: float, vdd_ref: float = 3.3, vt: float = 0.7,
+                 alpha: float = 1.6) -> float:
+    """Gate delay at ``vdd`` relative to the delay at ``vdd_ref``."""
+    if vdd <= vt:
+        return float("inf")
+    ref = vdd_ref / (vdd_ref - vt) ** alpha
+    return (vdd / (vdd - vt) ** alpha) / ref
+
+
+def voltage_for_slowdown(slowdown: float, vdd_ref: float = 3.3,
+                         vt: float = 0.7, alpha: float = 1.6,
+                         vdd_min: float = 1.1) -> float:
+    """Lowest V_DD whose delay factor stays within ``slowdown`` (≥ 1)."""
+    if slowdown < 1.0:
+        raise ValueError("slowdown must be >= 1")
+    lo, hi = vdd_min, vdd_ref
+    if delay_factor(lo, vdd_ref, vt, alpha) <= slowdown:
+        return lo
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if delay_factor(mid, vdd_ref, vt, alpha) <= slowdown:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def scaled_power(cap_ratio: float, vdd: float, vdd_ref: float = 3.3
+                 ) -> float:
+    """Power relative to the reference design at fixed throughput.
+
+    ``cap_ratio`` is switched capacitance per *sample* relative to the
+    reference (> 1 after a capacitance-increasing transformation).
+    """
+    return cap_ratio * (vdd / vdd_ref) ** 2
+
+
+@dataclass
+class VoltageScalingResult:
+    """Outcome of transform-then-scale."""
+
+    csteps_before: int
+    csteps_after: int
+    cap_ratio: float
+    vdd: float
+    vdd_ref: float
+    power_ratio: float
+
+    @property
+    def saving(self) -> float:
+        return 1.0 - self.power_ratio
+
+
+def tree_height_reduction(dfg: DFG) -> DFG:
+    """Rebalance chains of associative ``add`` ops into trees.
+
+    Finds maximal single-use chains of additions and rebuilds them as
+    balanced trees, shortening the critical path with no capacitance
+    change (same op count).
+    """
+    out = dfg.copy(dfg.name + "_thr")
+    consumers = out.consumers()
+
+    def chain_leaves(root: str) -> Optional[List[str]]:
+        """Leaves of a maximal add-chain rooted at ``root``."""
+        op = out.ops[root]
+        if op.op != "add":
+            return None
+        leaves: List[str] = []
+
+        def collect(name: str, at_root: bool) -> None:
+            o = out.ops[name]
+            internal = o.op == "add" and \
+                (at_root or len(consumers[name]) == 1)
+            if internal:
+                collect(o.operands[0], False)
+                collect(o.operands[1], False)
+            else:
+                leaves.append(name)
+
+        collect(root, True)
+        return leaves if len(leaves) >= 3 else None
+
+    # Roots: adds whose consumer is not an (absorbing) add chain.
+    done = set()
+    counter = [0]
+    for name in list(out.topo_order()):
+        if name in done or name not in out.ops:
+            continue
+        op = out.ops[name]
+        if op.op != "add":
+            continue
+        used_by_adds = all(out.ops[c].op == "add" for c in consumers[name])
+        if consumers[name] and used_by_adds and len(consumers[name]) == 1:
+            continue  # interior of a larger chain
+        leaves = chain_leaves(name)
+        if leaves is None:
+            continue
+        # Build a balanced tree over the leaves; the root keeps ``name``.
+        level = list(leaves)
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                counter[0] += 1
+                nn = f"_thr{counter[0]}"
+                out.ops[nn] = Operation(nn, "add",
+                                        [level[i], level[i + 1]])
+                nxt.append(nn)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        # Redirect the original root to the final pair and drop the
+        # now-dead interior ops.
+        interior = set()
+
+        def mark(nm: str, at_root: bool) -> None:
+            o = out.ops[nm]
+            if o.op == "add" and (at_root or len(consumers[nm]) == 1):
+                if not at_root:
+                    interior.add(nm)
+                mark(o.operands[0], False)
+                mark(o.operands[1], False)
+
+        mark(name, True)
+        out.ops[name].operands = [level[0], level[1]]
+        for nm in interior:
+            del out.ops[nm]
+        done.add(name)
+        consumers = out.consumers()
+    return out
+
+
+def unroll(dfg: DFG, factor: int) -> DFG:
+    """Replicate the DFG ``factor`` times (block processing).
+
+    The unrolled graph processes ``factor`` samples per invocation:
+    capacitance scales by ~``factor`` but so does the work per
+    invocation, and the copies run concurrently, so the *effective*
+    control steps per sample drop toward ``csteps / factor`` given
+    enough units.
+    """
+    out = DFG(f"{dfg.name}_x{factor}")
+    for k in range(factor):
+        for name in dfg.topo_order():
+            op = dfg.ops[name]
+            out.add(f"{name}__{k}", op.op,
+                    [f"{s}__{k}" for s in op.operands], op.value)
+    return out
+
+
+def transform_and_scale(dfg: DFG, transformed: DFG,
+                        samples_per_invocation: int = 1,
+                        vdd_ref: float = 3.3, vt: float = 0.7,
+                        alpha: float = 1.6) -> VoltageScalingResult:
+    """Fixed-throughput voltage scaling enabled by a transformation.
+
+    Critical paths are compared per *sample*; the slack ratio becomes
+    the permitted slowdown, converted to a V_DD by the alpha-power law.
+    Capacitance per sample is approximated by compute-op count weighted
+    by op energy class (mul = 10 × add).
+    """
+
+    def cap(d: DFG) -> float:
+        total = 0.0
+        for op in d.compute_ops():
+            total += 10.0 if op.op == "mul" else 1.0
+        return total
+
+    before = dfg.critical_path()
+    after = transformed.critical_path()
+    per_sample_after = after / samples_per_invocation
+    if per_sample_after <= 0:
+        raise ValueError("transformed graph has empty critical path")
+    slowdown = before / per_sample_after
+    slowdown = max(1.0, slowdown)
+    vdd = voltage_for_slowdown(slowdown, vdd_ref, vt, alpha)
+    cap_ratio = (cap(transformed) / samples_per_invocation) / cap(dfg)
+    power = scaled_power(cap_ratio, vdd, vdd_ref)
+    return VoltageScalingResult(
+        csteps_before=before, csteps_after=after, cap_ratio=cap_ratio,
+        vdd=vdd, vdd_ref=vdd_ref, power_ratio=power)

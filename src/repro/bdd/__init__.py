@@ -1,0 +1,5 @@
+"""Hash-consed reduced ordered BDD package."""
+
+from repro.bdd.bdd import BDD, BDDFunction
+
+__all__ = ["BDD", "BDDFunction"]

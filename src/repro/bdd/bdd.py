@@ -1,0 +1,305 @@
+"""A compact hash-consed ROBDD package.
+
+Provides the usual operations (ITE-based apply, quantification,
+composition, restriction) plus *weighted satisfy counting*, which gives
+exact signal probabilities for switching-activity analysis — the role BDDs
+play in refs [3], [16], [30] of the surveyed paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class BDD:
+    """BDD manager with a fixed variable order.
+
+    Node 0 is constant FALSE, node 1 constant TRUE.  Internal nodes are
+    triples ``(level, lo, hi)`` hash-consed in a unique table.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, variables: Sequence[str] = ()):
+        self.var_names: List[str] = []
+        self.var_level: Dict[str, int] = {}
+        self._level: List[int] = [1 << 30, 1 << 30]  # terminals: max level
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        for v in variables:
+            self.add_variable(v)
+
+    # -- variables ------------------------------------------------------
+
+    def add_variable(self, name: str) -> int:
+        """Append a variable at the bottom of the current order."""
+        if name in self.var_level:
+            raise ValueError(f"variable {name!r} already exists")
+        level = len(self.var_names)
+        self.var_names.append(name)
+        self.var_level[name] = level
+        return level
+
+    def var(self, name: str) -> "BDDFunction":
+        if name not in self.var_level:
+            self.add_variable(name)
+        level = self.var_level[name]
+        node = self._mk(level, BDD.FALSE, BDD.TRUE)
+        return BDDFunction(self, node)
+
+    @property
+    def true(self) -> "BDDFunction":
+        return BDDFunction(self, BDD.TRUE)
+
+    @property
+    def false(self) -> "BDDFunction":
+        return BDDFunction(self, BDD.FALSE)
+
+    def num_nodes(self) -> int:
+        return len(self._lo)
+
+    # -- core construction ----------------------------------------------
+
+    def _mk(self, level: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._lo)
+            self._level.append(level)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        if f == BDD.TRUE:
+            return g
+        if f == BDD.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == BDD.TRUE and h == BDD.FALSE:
+            return f
+        key = (f, g, h)
+        hit = self._ite_cache.get(key)
+        if hit is not None:
+            return hit
+        top = min(self._level[f], self._level[g], self._level[h])
+
+        def cof(n: int, phase: int) -> int:
+            if self._level[n] != top:
+                return n
+            return self._hi[n] if phase else self._lo[n]
+
+        hi = self._ite(cof(f, 1), cof(g, 1), cof(h, 1))
+        lo = self._ite(cof(f, 0), cof(g, 0), cof(h, 0))
+        result = self._mk(top, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def _not(self, f: int) -> int:
+        return self._ite(f, BDD.FALSE, BDD.TRUE)
+
+    # -- quantification / substitution -------------------------------------
+
+    def _restrict(self, f: int, level: int, phase: int,
+                  cache: Dict[int, int]) -> int:
+        if self._level[f] > level:
+            return f
+        hit = cache.get(f)
+        if hit is not None:
+            return hit
+        if self._level[f] == level:
+            result = self._hi[f] if phase else self._lo[f]
+        else:
+            lo = self._restrict(self._lo[f], level, phase, cache)
+            hi = self._restrict(self._hi[f], level, phase, cache)
+            result = self._mk(self._level[f], lo, hi)
+        cache[f] = result
+        return result
+
+    def _exists_one(self, f: int, level: int) -> int:
+        lo = self._restrict(f, level, 0, {})
+        hi = self._restrict(f, level, 1, {})
+        return self._ite(lo, BDD.TRUE, hi)
+
+    def _compose(self, f: int, level: int, g: int,
+                 cache: Dict[int, int]) -> int:
+        if self._level[f] > level:
+            return f
+        hit = cache.get(f)
+        if hit is not None:
+            return hit
+        if self._level[f] == level:
+            result = self._ite(g, self._hi[f], self._lo[f])
+        else:
+            lo = self._compose(self._lo[f], level, g, cache)
+            hi = self._compose(self._hi[f], level, g, cache)
+            top_var = self._mk(self._level[f], BDD.FALSE, BDD.TRUE)
+            result = self._ite(top_var, hi, lo)
+        cache[f] = result
+        return result
+
+    # -- analysis -----------------------------------------------------------
+
+    def _prob(self, f: int, level_probs: List[float],
+              cache: Dict[int, float]) -> float:
+        if f == BDD.TRUE:
+            return 1.0
+        if f == BDD.FALSE:
+            return 0.0
+        hit = cache.get(f)
+        if hit is not None:
+            return hit
+        p = level_probs[self._level[f]]
+        val = p * self._prob(self._hi[f], level_probs, cache) + \
+            (1.0 - p) * self._prob(self._lo[f], level_probs, cache)
+        cache[f] = val
+        return val
+
+    def _support(self, f: int, out: set, seen: set) -> None:
+        if f <= 1 or f in seen:
+            return
+        seen.add(f)
+        out.add(self._level[f])
+        self._support(self._lo[f], out, seen)
+        self._support(self._hi[f], out, seen)
+
+
+class BDDFunction:
+    """A Boolean function: a node handle within a :class:`BDD` manager."""
+
+    __slots__ = ("bdd", "node")
+
+    def __init__(self, bdd: BDD, node: int):
+        self.bdd = bdd
+        self.node = node
+
+    # -- logical operators --------------------------------------------------
+
+    def _coerce(self, other: object) -> "BDDFunction":
+        if isinstance(other, BDDFunction):
+            if other.bdd is not self.bdd:
+                raise ValueError("mixing BDD managers")
+            return other
+        if other is True or other == 1:
+            return self.bdd.true
+        if other is False or other == 0:
+            return self.bdd.false
+        raise TypeError(f"cannot combine BDD with {other!r}")
+
+    def __and__(self, other) -> "BDDFunction":
+        o = self._coerce(other)
+        return BDDFunction(self.bdd,
+                           self.bdd._ite(self.node, o.node, BDD.FALSE))
+
+    def __or__(self, other) -> "BDDFunction":
+        o = self._coerce(other)
+        return BDDFunction(self.bdd,
+                           self.bdd._ite(self.node, BDD.TRUE, o.node))
+
+    def __xor__(self, other) -> "BDDFunction":
+        o = self._coerce(other)
+        return BDDFunction(self.bdd,
+                           self.bdd._ite(self.node,
+                                         self.bdd._not(o.node), o.node))
+
+    def __invert__(self) -> "BDDFunction":
+        return BDDFunction(self.bdd, self.bdd._not(self.node))
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def ite(self, g: "BDDFunction", h: "BDDFunction") -> "BDDFunction":
+        return BDDFunction(self.bdd,
+                           self.bdd._ite(self.node, g.node, h.node))
+
+    def equiv(self, other: "BDDFunction") -> bool:
+        return self.node == self._coerce(other).node
+
+    def implies(self, other: "BDDFunction") -> bool:
+        o = self._coerce(other)
+        return self.bdd._ite(self.node, o.node, BDD.TRUE) == BDD.TRUE
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == BDD.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == BDD.FALSE
+
+    # -- quantification / substitution ----------------------------------------
+
+    def restrict(self, assignment: Dict[str, int]) -> "BDDFunction":
+        """Cofactor with respect to a partial variable assignment."""
+        node = self.node
+        for name, phase in assignment.items():
+            level = self.bdd.var_level[name]
+            node = self.bdd._restrict(node, level, 1 if phase else 0, {})
+        return BDDFunction(self.bdd, node)
+
+    def exists(self, variables: Iterable[str]) -> "BDDFunction":
+        node = self.node
+        for name in variables:
+            node = self.bdd._exists_one(node, self.bdd.var_level[name])
+        return BDDFunction(self.bdd, node)
+
+    def forall(self, variables: Iterable[str]) -> "BDDFunction":
+        inv = self.bdd._not(self.node)
+        for name in variables:
+            inv = self.bdd._exists_one(inv, self.bdd.var_level[name])
+        return BDDFunction(self.bdd, self.bdd._not(inv))
+
+    def compose(self, name: str, g: "BDDFunction") -> "BDDFunction":
+        level = self.bdd.var_level[name]
+        return BDDFunction(self.bdd,
+                           self.bdd._compose(self.node, level, g.node, {}))
+
+    # -- analysis ---------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, int]) -> bool:
+        node = self.node
+        bdd = self.bdd
+        while node > 1:
+            name = bdd.var_names[bdd._level[node]]
+            node = bdd._hi[node] if assignment.get(name, 0) else \
+                bdd._lo[node]
+        return node == BDD.TRUE
+
+    def probability(self, probs: Dict[str, float],
+                    default: float = 0.5) -> float:
+        """Exact P(f = 1) with independent inputs."""
+        level_probs = [default] * len(self.bdd.var_names)
+        for name, p in probs.items():
+            if name in self.bdd.var_level:
+                level_probs[self.bdd.var_level[name]] = p
+        return self.bdd._prob(self.node, level_probs, {})
+
+    def sat_count(self, num_vars: Optional[int] = None) -> float:
+        n = num_vars if num_vars is not None else len(self.bdd.var_names)
+        uniform = {name: 0.5 for name in self.bdd.var_names}
+        return self.probability(uniform) * (2 ** n)
+
+    def support(self) -> List[str]:
+        levels: set = set()
+        self.bdd._support(self.node, levels, set())
+        return [self.bdd.var_names[l] for l in sorted(levels)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BDDFunction) and \
+            other.bdd is self.bdd and other.node == self.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.bdd), self.node))
+
+    def __repr__(self) -> str:
+        return f"BDDFunction(node={self.node})"

@@ -1,0 +1,78 @@
+"""Building BDDs for netlist nodes (global functions over PIs/latches)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bdd.bdd import BDD, BDDFunction
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network
+from repro.logic.transform import node_cover
+
+
+def bdd_to_cover(func: BDDFunction, var_order):
+    """Enumerate a BDD's paths-to-TRUE as an SOP cover over ``var_order``
+    (every support variable of ``func`` must appear in ``var_order``)."""
+    from repro.logic.cube import Cube
+    from repro.logic.sop import Cover
+
+    bdd = func.bdd
+    index = {name: i for i, name in enumerate(var_order)}
+    n = len(var_order)
+    cubes = []
+
+    def walk(node: int, lits) -> None:
+        if node == BDD.FALSE:
+            return
+        if node == BDD.TRUE:
+            cubes.append(Cube.from_literals(n, lits))
+            return
+        name = bdd.var_names[bdd._level[node]]
+        var = index[name]
+        walk(bdd._lo[node], lits + [(var, 0)])
+        walk(bdd._hi[node], lits + [(var, 1)])
+
+    walk(func.node, [])
+    return Cover(n, cubes).sccc()
+
+
+def network_bdds(net: Network, bdd: Optional[BDD] = None,
+                 nodes: Optional[Iterable[str]] = None
+                 ) -> Dict[str, BDDFunction]:
+    """Global BDD of every node over primary inputs and latch outputs.
+
+    Latch outputs are treated as free variables (combinational view).
+    Pass ``nodes`` to limit which results are retained (all are computed —
+    intermediate functions are needed anyway).
+    """
+    manager = bdd if bdd is not None else BDD()
+    funcs: Dict[str, BDDFunction] = {}
+    for name in net.topo_order():
+        node = net.nodes[name]
+        if node.is_source():
+            funcs[name] = manager.var(name)
+            continue
+        if node.kind == "gate" and node.gtype is GateType.CONST0:
+            funcs[name] = manager.false
+            continue
+        if node.kind == "gate" and node.gtype is GateType.CONST1:
+            funcs[name] = manager.true
+            continue
+        cover = node_cover(node)
+        fanin_funcs = [funcs[fi] for fi in node.fanins]
+        acc = manager.false
+        for cube in cover:
+            term = manager.true
+            for var, phase in cube.literals():
+                lit = fanin_funcs[var]
+                term = term & (lit if phase else ~lit)
+                if term.is_false:
+                    break
+            acc = acc | term
+            if acc.is_true:
+                break
+        funcs[name] = acc
+    if nodes is not None:
+        wanted = set(nodes)
+        return {k: v for k, v in funcs.items() if k in wanted}
+    return funcs

@@ -1,0 +1,9 @@
+"""Flow drivers and reporting for the low-power optimization system."""
+
+from repro.core.flow import (FlowResult, FlowStage, low_power_flow,
+                             SequentialFlowResult, fsm_low_power_flow)
+from repro.core.report import format_table
+
+__all__ = ["FlowResult", "FlowStage", "low_power_flow",
+           "SequentialFlowResult", "fsm_low_power_flow",
+           "format_table"]

@@ -1,0 +1,7 @@
+"""Technology library: standard cells and switch-level gate models."""
+
+from repro.library.cells import Cell, Library, generic_library
+from repro.library.transistors import SeriesStack, StackEnergyModel
+
+__all__ = ["Cell", "Library", "generic_library", "SeriesStack",
+           "StackEnergyModel"]

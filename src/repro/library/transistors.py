@@ -1,0 +1,179 @@
+"""Switch-level model of a series transistor stack.
+
+This is the model behind the transistor-reordering optimization of
+Section II-A ([32], [42]): in a series pull-down (NAND-style) or pull-up
+(NOR-style) chain, the *internal* nodes between transistors carry
+parasitic drain/source capacitance, and how often they charge and
+discharge depends on which input signal drives which position.
+
+State model (per clock step, inputs switch simultaneously):
+
+* the chain conducts iff all inputs are ON; then the output and all
+  internal nodes are pulled to the rail (logic 0 for a pull-down);
+* otherwise the output is restored by the complementary network
+  (logic 1), and internal node *i* (between transistor *i* and *i+1*,
+  transistor 1 adjacent to the output):
+
+  - follows the output (charges) iff transistors 1..i are all ON,
+  - is pulled to the rail iff transistors i+1..n are all ON,
+  - otherwise floats and retains its previous value.
+
+Energy is counted as C·V² per 0→1 charge event on each node.  Delay uses
+the Elmore model of the discharge through the full stack triggered by the
+last-arriving input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class StackEnergyModel:
+    """Capacitance/resistance parameters of the stack (arbitrary units)."""
+
+    c_output: float = 4.0      # load + drain cap at the gate output
+    c_internal: float = 1.0    # drain+source cap at each internal node
+    r_on: float = 1.0          # on-resistance of one transistor
+    vdd: float = 1.0
+
+
+class SeriesStack:
+    """An n-transistor series chain with a given input-to-position order.
+
+    ``order[k]`` is the index of the input signal placed at position
+    ``k`` (position 0 is adjacent to the output node).
+    """
+
+    def __init__(self, num_inputs: int, order: Optional[Sequence[int]] = None,
+                 model: Optional[StackEnergyModel] = None):
+        self.n = num_inputs
+        self.order = list(order) if order is not None \
+            else list(range(num_inputs))
+        if sorted(self.order) != list(range(num_inputs)):
+            raise ValueError("order must be a permutation of inputs")
+        self.model = model or StackEnergyModel()
+
+    # -- steady-state node values ------------------------------------------
+
+    def node_states(self, inputs: Sequence[int],
+                    previous: Optional[List[float]] = None
+                    ) -> List[float]:
+        """Voltages (0/1, or retained value) of [output, int_1..int_{n-1}].
+
+        ``inputs`` is indexed by signal; positions read through ``order``.
+        """
+        on = [inputs[self.order[k]] for k in range(self.n)]
+        states: List[float] = [0.0] * self.n
+        all_on = all(on)
+        out_v = 0.0 if all_on else 1.0
+        states[0] = out_v
+        for i in range(1, self.n):
+            conduct_above = all(on[:i])
+            conduct_below = all(on[i:])
+            if conduct_below:
+                states[i] = 0.0
+            elif conduct_above:
+                states[i] = out_v
+            else:
+                states[i] = previous[i] if previous is not None else 0.0
+        return states
+
+    # -- energy -------------------------------------------------------------
+
+    def _node_caps(self) -> List[float]:
+        return [self.model.c_output] + \
+            [self.model.c_internal] * (self.n - 1)
+
+    def energy_of_sequence(self, vectors: Sequence[Sequence[int]]) -> float:
+        """Total charging energy over an input-vector sequence."""
+        caps = self._node_caps()
+        vdd2 = self.model.vdd ** 2
+        energy = 0.0
+        prev: Optional[List[float]] = None
+        for vec in vectors:
+            states = self.node_states(vec, prev)
+            if prev is not None:
+                for c, before, after in zip(caps, prev, states):
+                    if after > before:
+                        energy += c * (after - before) * vdd2
+            prev = states
+        return energy
+
+    def expected_energy(self, probs: Sequence[float],
+                        iterations: int = 200) -> float:
+        """Exact expected charging energy per cycle in steady state.
+
+        Inputs are spatially and temporally independent with
+        ``probs[i] = P(input i = 1)``.  Because floating internal nodes
+        retain state, the stack is a Markov chain over node-state
+        vectors; the stationary distribution is found by power
+        iteration (state spaces are tiny for realistic stack widths).
+        """
+        n = self.n
+        caps = self._node_caps()
+        vdd2 = self.model.vdd ** 2
+
+        def vec_prob(v: int) -> float:
+            p = 1.0
+            for i in range(n):
+                p *= probs[i] if (v >> i) & 1 else 1.0 - probs[i]
+            return p
+
+        input_probs = [(v, vec_prob(v)) for v in range(1 << n)
+                       if vec_prob(v) > 0.0]
+        bits = lambda v: [(v >> i) & 1 for i in range(n)]
+
+        # Stationary distribution over node-state tuples.
+        start = tuple(self.node_states(bits(input_probs[0][0])))
+        dist = {start: 1.0}
+        for _ in range(iterations):
+            nxt: dict = {}
+            for state, p_s in dist.items():
+                for v, p_v in input_probs:
+                    s1 = tuple(self.node_states(bits(v),
+                                                previous=list(state)))
+                    nxt[s1] = nxt.get(s1, 0.0) + p_s * p_v
+            delta = sum(abs(nxt.get(s, 0.0) - dist.get(s, 0.0))
+                        for s in set(nxt) | set(dist))
+            dist = nxt
+            if delta < 1e-12:
+                break
+
+        energy = 0.0
+        for state, p_s in dist.items():
+            for v, p_v in input_probs:
+                s1 = self.node_states(bits(v), previous=list(state))
+                e = 0.0
+                for c, before, after in zip(caps, state, s1):
+                    if after > before:
+                        e += c * (after - before) * vdd2
+                energy += p_s * p_v * e
+        return energy
+
+    # -- delay ----------------------------------------------------------------
+
+    def elmore_delay(self, arrival: Sequence[float]) -> float:
+        """Gate settling time given per-input arrival times.
+
+        When the last input (at position k) turns on, the output and the
+        internal nodes above position k discharge through the whole
+        stack; the Elmore delay of that RC ladder grows with k, so
+        late-arriving signals belong near the output (the well-known
+        rule the paper cites).
+        """
+        m = self.model
+        worst = 0.0
+        for k in range(self.n):
+            # Nodes to discharge: output (index 0) and internals 1..k.
+            tau = m.c_output * self.n * m.r_on
+            for i in range(1, k + 1):
+                tau += m.c_internal * (self.n - i) * m.r_on
+            t = arrival[self.order[k]] + tau
+            worst = max(worst, t)
+        return worst
+
+    def reordered(self, order: Sequence[int]) -> "SeriesStack":
+        return SeriesStack(self.n, order, self.model)

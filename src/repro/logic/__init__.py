@@ -1,0 +1,10 @@
+"""Boolean logic engine: cubes, SOP covers, netlists, factoring, BLIF."""
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Cover
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network, Latch, Node, NetlistError
+from repro.logic.blif import read_blif, write_blif
+
+__all__ = ["Cube", "Cover", "GateType", "Network", "Latch", "Node",
+           "NetlistError", "read_blif", "write_blif"]

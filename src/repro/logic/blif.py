@@ -1,0 +1,134 @@
+"""Minimal BLIF reader/writer.
+
+Supports ``.model``, ``.inputs``, ``.outputs``, ``.names`` (SOP tables with
+single-output cover rows) and ``.latch`` (with optional initial value).
+This is the interchange format for user-supplied netlists, standing in for
+the MCNC benchmark distribution.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from repro.logic.cube import Cube
+from repro.logic.netlist import Network
+from repro.logic.sop import Cover
+
+
+class BlifError(Exception):
+    pass
+
+
+def _logical_lines(stream: TextIO) -> List[List[str]]:
+    lines: List[List[str]] = []
+    pending = ""
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        full = pending + line
+        pending = ""
+        lines.append(full.split())
+    if pending.strip():
+        lines.append(pending.split())
+    return lines
+
+
+def read_blif(source: Union[str, TextIO]) -> Network:
+    """Parse BLIF from a string or file-like object."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    tokens = _logical_lines(source)
+    net = Network()
+    i = 0
+    pending_outputs: List[str] = []
+    while i < len(tokens):
+        tok = tokens[i]
+        key = tok[0]
+        if key == ".model":
+            net.name = tok[1] if len(tok) > 1 else "top"
+            i += 1
+        elif key == ".inputs":
+            for name in tok[1:]:
+                net.add_input(name)
+            i += 1
+        elif key == ".outputs":
+            pending_outputs.extend(tok[1:])
+            i += 1
+        elif key == ".latch":
+            if len(tok) < 3:
+                raise BlifError(".latch needs input and output")
+            data, out = tok[1], tok[2]
+            init = 0
+            if len(tok) >= 4 and tok[-1] in ("0", "1", "2", "3"):
+                init = 1 if tok[-1] == "1" else 0
+            net.add_latch(data, out, init=init)
+            i += 1
+        elif key == ".names":
+            signals = tok[1:]
+            if not signals:
+                raise BlifError(".names needs at least an output")
+            out = signals[-1]
+            fanins = signals[:-1]
+            rows: List[Cube] = []
+            i += 1
+            is_const1 = False
+            while i < len(tokens) and not tokens[i][0].startswith("."):
+                row = tokens[i]
+                if len(fanins) == 0:
+                    if row[0] == "1":
+                        is_const1 = True
+                elif len(row) != 2:
+                    raise BlifError(f"bad cover row {' '.join(row)!r}")
+                else:
+                    pattern, value = row
+                    if value != "1":
+                        raise BlifError("only ON-set covers are supported")
+                    if len(pattern) != len(fanins):
+                        raise BlifError("cover row width mismatch")
+                    rows.append(Cube.from_string(pattern))
+                i += 1
+            if not fanins:
+                cover = Cover.one(0) if is_const1 else Cover.zero(0)
+                net.add_sop(out, [], cover)
+            else:
+                net.add_sop(out, fanins, Cover(len(fanins), rows))
+        elif key == ".end":
+            i += 1
+        else:
+            raise BlifError(f"unsupported BLIF construct {key!r}")
+    for out in pending_outputs:
+        net.set_output(out)
+    net.check()
+    return net
+
+
+def write_blif(net: Network) -> str:
+    """Serialise a network to BLIF text (gates become .names tables)."""
+    from repro.logic.transform import node_cover  # local import: no cycle
+
+    out = [f".model {net.name}"]
+    if net.inputs:
+        out.append(".inputs " + " ".join(net.inputs))
+    if net.outputs:
+        out.append(".outputs " + " ".join(net.outputs))
+    for latch in net.latches:
+        out.append(f".latch {latch.data} {latch.output} {latch.init}")
+    for name in net.topo_order():
+        node = net.nodes[name]
+        if node.is_source():
+            continue
+        cover = node_cover(node)
+        out.append(".names " + " ".join(node.fanins + [name]))
+        if not node.fanins:
+            if cover.is_tautology():
+                out.append("1")
+        else:
+            for cube in cover:
+                out.append(cube.to_string() + " 1")
+    out.append(".end")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,107 @@
+"""Exact two-level minimization (Quine–McCluskey + covering).
+
+The heuristic :meth:`~repro.logic.sop.Cover.minimize` is the workhorse;
+this module provides the exact optimum for small functions — prime
+implicant generation by iterated consensus over minterm groups, then a
+minimum cover by branch-and-bound with essential-prime reduction.
+Used by the tests as ground truth for the heuristic, and available for
+node sizes where exactness is affordable (≲ 10 variables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logic.cube import Cube
+from repro.logic.sop import Cover
+
+
+def prime_implicants(on: Cover, dc: Optional[Cover] = None
+                     ) -> List[Cube]:
+    """All prime implicants of ON ∪ DC (Quine–McCluskey merging)."""
+    n = on.num_vars
+    dc = dc if dc is not None else Cover.zero(n)
+    care = [m for m in range(1 << n)
+            if on.evaluate(m) or dc.evaluate(m)]
+    if not care:
+        return []
+    if len(care) == 1 << n:
+        return [Cube.universe(n)]
+    current: Set[Tuple[int, int]] = {((1 << n) - 1, m) for m in care}
+    primes: List[Cube] = []
+    while current:
+        merged_from: Set[Tuple[int, int]] = set()
+        nxt: Set[Tuple[int, int]] = set()
+        by_mask: Dict[int, List[int]] = {}
+        for mask, value in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            vset = set(values)
+            for value in values:
+                for bit_index in range(n):
+                    bit = 1 << bit_index
+                    if not mask & bit:
+                        continue
+                    partner = value ^ bit
+                    if partner in vset:
+                        merged_from.add((mask, value))
+                        merged_from.add((mask, partner))
+                        nxt.add((mask & ~bit, value & ~bit))
+        for mask, value in current:
+            if (mask, value) not in merged_from:
+                primes.append(Cube(on.num_vars, mask, value))
+        current = nxt
+    # Deduplicate (merging can produce the same implicant twice).
+    return list({(c.mask, c.value): c for c in primes}.values())
+
+
+def _min_cover(minterms: List[int], primes: List[Cube]) -> List[Cube]:
+    """Branch-and-bound minimum unate covering."""
+    covers: List[Set[int]] = [
+        {m for m in minterms if p.covers_minterm(m)} for p in primes]
+
+    best: List[int] = list(range(len(primes)))
+
+    def search(uncovered: Set[int], chosen: List[int],
+               available: List[int]) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best):
+            return
+        # Essential/row-dominance style branching: pick the hardest
+        # minterm and try each prime covering it.
+        target = min(uncovered,
+                     key=lambda m: sum(1 for i in available
+                                       if m in covers[i]))
+        candidates = [i for i in available if target in covers[i]]
+        candidates.sort(key=lambda i: -len(covers[i] & uncovered))
+        if not candidates:
+            return            # uncoverable under this branch
+        for i in candidates:
+            search(uncovered - covers[i], chosen + [i],
+                   [j for j in available if j != i])
+
+    search(set(minterms), [], list(range(len(primes))))
+    return [primes[i] for i in best]
+
+
+def minimize_exact(on: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Exact minimum-cube cover of ON against the DC-set."""
+    n = on.num_vars
+    dc = dc if dc is not None else Cover.zero(n)
+    care_on = [m for m in range(1 << n)
+               if on.evaluate(m) and not dc.evaluate(m)]
+    if not care_on:
+        return Cover.zero(n)
+    primes = prime_implicants(on, dc)
+    chosen = _min_cover(care_on, primes)
+    return Cover(n, chosen)
+
+
+def is_minimum_size(cover: Cover, on: Cover,
+                    dc: Optional[Cover] = None) -> bool:
+    """True iff ``cover`` has as few cubes as the exact optimum."""
+    return len(cover.sccc()) <= len(minimize_exact(on, dc))

@@ -1,0 +1,114 @@
+"""Primitive gate types and their (bit-parallel) evaluation.
+
+Evaluation operates on Python integers used as bit-vectors: bit *k* of every
+word belongs to simulation pattern *k*, so a single pass over the netlist
+evaluates an arbitrary number of patterns at once.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+
+class GateType(str, Enum):
+    """Primitive combinational gate types."""
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # fanins: (sel, d0, d1) -> sel ? d1 : d0
+    MAJ = "maj"  # 3-input majority
+
+    @property
+    def is_inverting(self) -> bool:
+        return self in (GateType.NOT, GateType.NAND, GateType.NOR,
+                        GateType.XNOR)
+
+
+#: Number of transistors in a static CMOS realisation of each gate, used as
+#: the default area / capacitance proxy before technology mapping.
+TRANSISTOR_COUNT = {
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 4,
+    GateType.NOT: 2,
+    GateType.AND: 6,    # NAND + INV
+    GateType.NAND: 4,
+    GateType.OR: 6,     # NOR + INV
+    GateType.NOR: 4,
+    GateType.XOR: 10,
+    GateType.XNOR: 10,
+    GateType.MUX: 10,
+    GateType.MAJ: 12,
+}
+
+
+def gate_transistors(gtype: GateType, num_inputs: int) -> int:
+    """Transistor count scaled for gates wider than two inputs."""
+    base = TRANSISTOR_COUNT[gtype]
+    if gtype in (GateType.AND, GateType.OR):
+        return 2 * num_inputs + 2
+    if gtype in (GateType.NAND, GateType.NOR):
+        return 2 * num_inputs
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 10 * max(1, num_inputs - 1)
+    return base
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate a primitive gate on bit-parallel words.
+
+    ``mask`` limits the word width (all outputs are ANDed with it so
+    Python's arbitrary-precision negatives stay bounded).
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    if gtype is GateType.BUF:
+        return inputs[0] & mask
+    if gtype is GateType.NOT:
+        return ~inputs[0] & mask
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        acc = mask
+        for w in inputs:
+            acc &= w
+        return acc if gtype is GateType.AND else ~acc & mask
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        acc = 0
+        for w in inputs:
+            acc |= w
+        acc &= mask
+        return acc if gtype is GateType.OR else ~acc & mask
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = 0
+        for w in inputs:
+            acc ^= w
+        acc &= mask
+        return acc if gtype is GateType.XOR else ~acc & mask
+    if gtype is GateType.MUX:
+        sel, d0, d1 = inputs
+        return ((sel & d1) | (~sel & d0)) & mask
+    if gtype is GateType.MAJ:
+        a, b, c = inputs
+        return ((a & b) | (a & c) | (b & c)) & mask
+    raise ValueError(f"unknown gate type {gtype}")
+
+
+def gate_arity_ok(gtype: GateType, num_inputs: int) -> bool:
+    """Check input-count legality for a gate type."""
+    if gtype in (GateType.CONST0, GateType.CONST1):
+        return num_inputs == 0
+    if gtype in (GateType.BUF, GateType.NOT):
+        return num_inputs == 1
+    if gtype in (GateType.MUX, GateType.MAJ):
+        return num_inputs == 3
+    return num_inputs >= 2

@@ -1,0 +1,2 @@
+"""Low-power optimizations at the circuit, logic, sequential and
+datapath levels (Sections II and III of the paper)."""

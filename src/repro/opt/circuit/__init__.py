@@ -1,0 +1,9 @@
+"""Circuit-level optimizations: transistor reordering and sizing
+(Section II of the paper)."""
+
+from repro.opt.circuit.reorder import ReorderResult, optimize_stack_order
+from repro.opt.circuit.sizing import SizingResult, size_for_power, \
+    critical_path_delay
+
+__all__ = ["ReorderResult", "optimize_stack_order", "SizingResult",
+           "size_for_power", "critical_path_delay"]

@@ -1,0 +1,101 @@
+"""Transistor reordering within complex gates (Section II-A; [32], [42]).
+
+Given the signal probabilities and arrival times of a series stack's
+inputs, choose the input-to-position assignment minimizing expected
+switched energy, optionally under a delay constraint.  Stacks are small
+(n ≤ 6 in practice) so exhaustive search is exact; a probability-sorted
+greedy order is provided for wider stacks and as a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+from repro.library.transistors import SeriesStack, StackEnergyModel
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of a reordering search."""
+
+    best_order: List[int]
+    best_energy: float
+    best_delay: float
+    baseline_energy: float     # identity order
+    baseline_delay: float
+    worst_energy: float
+
+    @property
+    def energy_saving(self) -> float:
+        if self.baseline_energy == 0.0:
+            return 0.0
+        return 1.0 - self.best_energy / self.baseline_energy
+
+    @property
+    def spread(self) -> float:
+        """Best-to-worst energy ratio across orders (search head-room)."""
+        if self.worst_energy == 0.0:
+            return 1.0
+        return self.best_energy / self.worst_energy
+
+
+def greedy_order(probs: Sequence[float]) -> List[int]:
+    """Probability-sorted heuristic.
+
+    Inputs most likely to be ON go nearest ground: the bottom of the
+    stack conducts often, keeping internal nodes discharged so they do
+    not repeatedly charge from the output.
+    """
+    return sorted(range(len(probs)), key=lambda i: -probs[i])
+
+
+def optimize_stack_order(probs: Sequence[float],
+                         arrival: Optional[Sequence[float]] = None,
+                         delay_limit: Optional[float] = None,
+                         model: Optional[StackEnergyModel] = None,
+                         exhaustive_limit: int = 7) -> ReorderResult:
+    """Search input orders of a series stack for minimum energy.
+
+    ``delay_limit`` (if given) rejects orders whose Elmore settling time
+    exceeds it — the power/delay trade the paper describes.  Arrival
+    times default to zero (delay then differs only through stack depth,
+    which is order-independent, so the search is pure-power).
+    """
+    n = len(probs)
+    arrival = list(arrival) if arrival is not None else [0.0] * n
+    model = model or StackEnergyModel()
+
+    def evaluate(order: Sequence[int]) -> Tuple[float, float]:
+        stack = SeriesStack(n, order, model)
+        return stack.expected_energy(probs), stack.elmore_delay(arrival)
+
+    base_energy, base_delay = evaluate(list(range(n)))
+    limit = delay_limit if delay_limit is not None else float("inf")
+
+    if n <= exhaustive_limit:
+        candidates = [list(p) for p in permutations(range(n))]
+    else:
+        candidates = [list(range(n)), greedy_order(probs),
+                      greedy_order(probs)[::-1]]
+
+    best: Optional[Tuple[float, float, List[int]]] = None
+    worst_energy = base_energy
+    for order in candidates:
+        energy, delay = evaluate(order)
+        worst_energy = max(worst_energy, energy)
+        if delay > limit:
+            continue
+        if best is None or (energy, delay) < (best[0], best[1]):
+            best = (energy, delay, order)
+    if best is None:
+        # No order meets the constraint; fall back to fastest order.
+        fastest = min(candidates,
+                      key=lambda o: evaluate(o)[1])
+        energy, delay = evaluate(fastest)
+        best = (energy, delay, fastest)
+    return ReorderResult(best_order=best[2], best_energy=best[0],
+                         best_delay=best[1], baseline_energy=base_energy,
+                         baseline_delay=base_delay,
+                         worst_energy=worst_energy)

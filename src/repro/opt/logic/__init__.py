@@ -1,0 +1,13 @@
+"""Combinational logic-level optimizations (Section III-A / III-B)."""
+
+from repro.opt.logic.dontcare import dontcare_power_optimization, \
+    controllability_dont_cares, observability_dont_cares
+from repro.opt.logic.balance import balance_paths, BalanceResult
+from repro.opt.logic.kernels import extract_kernels, ExtractionResult
+from repro.opt.logic.mapping import tech_map, MappingResult
+from repro.opt.logic.share import share_product_terms, SharingResult
+
+__all__ = ["dontcare_power_optimization", "controllability_dont_cares",
+           "observability_dont_cares", "balance_paths", "BalanceResult",
+           "extract_kernels", "ExtractionResult", "tech_map",
+           "MappingResult", "share_product_terms", "SharingResult"]

@@ -1,0 +1,35 @@
+"""Sequential logic optimizations (Section III-C)."""
+
+from repro.opt.seq.stg import STG, Transition, read_kiss, synthesize_fsm
+from repro.opt.seq.encoding import (encode_natural, encode_onehot,
+                                    encode_greedy, encode_anneal,
+                                    encoding_cost, EncodingResult,
+                                    evaluate_encoding)
+from repro.opt.seq.retime import (RetimingGraph, min_period_retiming,
+                                  low_power_retiming, apply_retiming)
+from repro.opt.seq.gated_clock import (self_loop_clock_gating,
+                                       GatedClockResult)
+from repro.opt.seq.precompute import (sequential_precompute,
+                                      combinational_precompute,
+                                      select_precompute_inputs,
+                                      precomputed_comparator,
+                                      PrecomputeResult)
+from repro.opt.seq.minimize_fsm import (equivalent_state_classes,
+                                        minimize_stg)
+from repro.opt.seq.guarded import guarded_evaluation, GuardResult
+from repro.opt.seq.fsm_benchmarks import (load_benchmark,
+                                          benchmark_names,
+                                          all_benchmarks)
+
+__all__ = ["STG", "Transition", "read_kiss", "synthesize_fsm",
+           "encode_natural", "encode_onehot", "encode_greedy",
+           "encode_anneal", "encoding_cost", "EncodingResult",
+           "evaluate_encoding", "RetimingGraph", "min_period_retiming",
+           "low_power_retiming", "apply_retiming",
+           "self_loop_clock_gating", "GatedClockResult",
+           "sequential_precompute", "combinational_precompute",
+           "equivalent_state_classes", "minimize_stg",
+           "select_precompute_inputs",
+           "precomputed_comparator", "PrecomputeResult",
+           "guarded_evaluation", "GuardResult", "load_benchmark",
+           "benchmark_names", "all_benchmarks"]

@@ -1,0 +1,142 @@
+"""A suite of controller FSMs for the sequential experiments.
+
+Stands in for the MCNC FSM benchmark set (see DESIGN.md substitutions):
+small, completely specified controllers with the structural features
+the sequential optimizations exploit — heavy self-loops (clock gating),
+skewed stationary distributions (encoding), and redundant states
+(minimization).  All are given in KISS2 text so they also exercise the
+parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.opt.seq.stg import STG, read_kiss
+
+#: Traffic-light controller: long self-loops on a timer input.
+TRAFFIC = """
+.i 2
+.o 2
+.r green
+0- green  green  10
+1- green  yellow 10
+-0 yellow yellow 11
+-1 yellow red    11
+0- red    red    01
+1- red    green  01
+"""
+
+#: 1011 sequence detector (Mealy): dense transition structure.
+DETECTOR = """
+.i 1
+.o 1
+.r s0
+0 s0 s0 0
+1 s0 s1 0
+0 s1 s2 0
+1 s1 s1 0
+0 s2 s0 0
+1 s2 s3 0
+0 s3 s2 0
+1 s3 s1 1
+"""
+
+#: Vending machine accepting 5/10 cent coins toward 15 cents.
+VENDING = """
+.i 2
+.o 1
+.r c0
+00 c0  c0  0
+01 c0  c5  0
+10 c0  c10 0
+11 c0  c0  0
+00 c5  c5  0
+01 c5  c10 0
+10 c5  c0  1
+11 c5  c5  0
+00 c10 c10 0
+01 c10 c0  1
+10 c10 c0  1
+11 c10 c10 0
+"""
+
+#: Bus arbiter for two requesters with hold.
+ARBITER = """
+.i 2
+.o 2
+.r idle
+00 idle idle 00
+1- idle g0   00
+01 idle g1   00
+1- g0   g0   10
+0- g0   idle 10
+-1 g1   g1   01
+-0 g1   idle 01
+"""
+
+#: Shift-register-like machine with redundant duplicated states
+#: (state-minimization workload: 6 states reduce to 3).
+REDUNDANT = """
+.i 1
+.o 1
+.r a0
+0 a0 a0 0
+1 a0 a1 0
+0 a1 a1 0
+1 a1 a2 1
+0 a2 a2 1
+1 a2 a0 0
+0 b0 b0 0
+1 b0 b1 0
+0 b1 b1 0
+1 b1 b2 1
+0 b2 b2 1
+1 b2 b0 0
+"""
+
+#: Elevator controller for three floors.
+ELEVATOR = """
+.i 2
+.o 2
+.r f1
+00 f1 f1 00
+01 f1 f2 10
+10 f1 f3 10
+11 f1 f1 00
+00 f2 f2 00
+01 f2 f1 01
+10 f2 f3 10
+11 f2 f2 00
+00 f3 f3 00
+01 f3 f2 01
+10 f3 f1 01
+11 f3 f3 00
+"""
+
+_SOURCES: Dict[str, str] = {
+    "traffic": TRAFFIC,
+    "detector": DETECTOR,
+    "vending": VENDING,
+    "arbiter": ARBITER,
+    "redundant": REDUNDANT,
+    "elevator": ELEVATOR,
+}
+
+
+def benchmark_names() -> List[str]:
+    return sorted(_SOURCES)
+
+
+def load_benchmark(name: str) -> STG:
+    """Parse one of the bundled controller FSMs."""
+    try:
+        return read_kiss(_SOURCES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown FSM benchmark {name!r}; available: "
+            f"{', '.join(benchmark_names())}") from None
+
+
+def all_benchmarks() -> Dict[str, STG]:
+    return {name: load_benchmark(name) for name in benchmark_names()}

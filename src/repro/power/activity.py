@@ -1,0 +1,139 @@
+"""Switching-activity estimation.
+
+Three estimators of increasing cost/accuracy, mirroring the survey's
+Section IV-A discussion and Najm's estimation survey [31]:
+
+* probability propagation with an independence assumption (fast),
+* exact signal probabilities via global BDDs (reconvergence-aware),
+* Monte-Carlo bit-parallel simulation (the reference).
+
+Activities are in *transitions per clock cycle* at each node output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.logic.netlist import Network
+from repro.logic.transform import node_cover
+from repro.sim.functional import simulate_transitions, node_one_counts
+from repro.sim.vectors import random_words
+
+
+def activity_from_probability(p: float) -> float:
+    """Temporal-independence activity: P(0→1) + P(1→0) = 2·p·(1−p)."""
+    return 2.0 * p * (1.0 - p)
+
+
+def signal_probability_propagation(net: Network,
+                                   input_probs: Optional[Dict[str, float]]
+                                   = None) -> Dict[str, float]:
+    """Signal probabilities by forward propagation.
+
+    Fanins of each node are assumed independent (the classical fast
+    approximation; exact on trees, optimistic under reconvergence).
+    Latch outputs default to probability 0.5 unless given.
+    """
+    input_probs = input_probs or {}
+    probs: Dict[str, float] = {}
+    for name in net.topo_order():
+        node = net.nodes[name]
+        if node.is_source():
+            probs[name] = input_probs.get(name, 0.5)
+        else:
+            cover = node_cover(node)
+            fanin_p = [probs[fi] for fi in node.fanins]
+            probs[name] = cover.probability(fanin_p)
+    return probs
+
+
+def signal_probability_exact(net: Network,
+                             input_probs: Optional[Dict[str, float]] = None
+                             ) -> Dict[str, float]:
+    """Exact signal probabilities via global BDDs over the PIs."""
+    from repro.bdd.circuit import network_bdds
+
+    input_probs = input_probs or {}
+    funcs = network_bdds(net)
+    return {name: f.probability(input_probs)
+            for name, f in funcs.items()}
+
+
+def transition_density(net: Network,
+                       input_probs: Optional[Dict[str, float]] = None,
+                       input_densities: Optional[Dict[str, float]] = None
+                       ) -> Dict[str, float]:
+    """Najm's transition-density propagation.
+
+    D(y) = Σ_i P(∂y/∂x_i) · D(x_i), with Boolean differences computed
+    exactly per node and signal probabilities from the independence
+    propagation.  Input densities default to 2·p·(1−p).
+    """
+    probs = signal_probability_propagation(net, input_probs)
+    densities: Dict[str, float] = {}
+    for name in net.topo_order():
+        node = net.nodes[name]
+        if node.is_source():
+            if input_densities is not None and name in input_densities:
+                densities[name] = input_densities[name]
+            else:
+                densities[name] = activity_from_probability(probs[name])
+            continue
+        cover = node_cover(node)
+        fanin_p = [probs[fi] for fi in node.fanins]
+        total = 0.0
+        for i, fi in enumerate(node.fanins):
+            hi = cover.cofactor_literal(i, 1)
+            lo = cover.cofactor_literal(i, 0)
+            p_hi = hi.probability(fanin_p)
+            p_lo = lo.probability(fanin_p)
+            p_both = hi.intersect(lo).probability(fanin_p)
+            p_diff = p_hi + p_lo - 2.0 * p_both  # P(hi XOR lo)
+            total += p_diff * densities[fi]
+        densities[name] = total
+    return densities
+
+
+def activity_from_simulation(net: Network, num_vectors: int = 2048,
+                             seed: int = 0,
+                             input_probs: Optional[Dict[str, float]] = None
+                             ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Monte-Carlo activity and probability estimates.
+
+    Latch outputs are driven as pseudo-inputs with probability 0.5 (use
+    ``sequential_activity`` for true sequential behaviour).  Returns
+    ``(activity, probability)`` dictionaries.
+    """
+    sources = [n for n in net.nodes.values() if n.is_source()]
+    words = random_words([s.name for s in sources], num_vectors, seed,
+                         input_probs)
+    transitions = simulate_transitions(net, words, num_vectors)
+    ones = node_one_counts(net, words, num_vectors)
+    activity = {k: v / (num_vectors - 1) for k, v in transitions.items()}
+    probability = {k: v / num_vectors for k, v in ones.items()}
+    return activity, probability
+
+
+def sequential_activity(net: Network,
+                        input_sequence: Sequence[Dict[str, int]]
+                        ) -> Dict[str, float]:
+    """Per-node activity from a clocked simulation of a sequential net."""
+    from repro.sim.functional import sequential_transitions
+
+    transitions, _trace = sequential_transitions(net, input_sequence)
+    cycles = max(1, len(input_sequence) - 1)
+    return {k: v / cycles for k, v in transitions.items()}
+
+
+def weighted_switching(net: Network, activity: Dict[str, float],
+                       caps: Optional[Dict[str, float]] = None) -> float:
+    """Σ C(node)·activity(node): the cost function used throughout the
+    logic-level optimizations (capacitance defaults to the transistor-count
+    model of ``repro.power.model``)."""
+    from repro.power.model import node_capacitance
+
+    total = 0.0
+    for name in net.nodes:
+        cap = caps[name] if caps is not None else node_capacitance(net, name)
+        total += cap * activity.get(name, 0.0)
+    return total

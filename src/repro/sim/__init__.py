@@ -1,0 +1,12 @@
+"""Gate-level simulation: stimulus, zero-delay and event-driven timing."""
+
+from repro.sim.vectors import random_words, words_from_vectors, \
+    vectors_from_words, random_bus_stream, counter_bus_stream
+from repro.sim.functional import simulate_transitions, \
+    sequential_transitions
+from repro.sim.event import EventSimulator, timed_transitions
+
+__all__ = ["random_words", "words_from_vectors", "vectors_from_words",
+           "random_bus_stream", "counter_bus_stream",
+           "simulate_transitions", "sequential_transitions",
+           "EventSimulator", "timed_transitions"]

@@ -1,0 +1,109 @@
+"""Zero-delay (functional) simulation and transition counting.
+
+Zero-delay transition counts give the *useful* switching activity — at
+most one transition per node per clock cycle.  The difference between the
+event-driven counts (``repro.sim.event``) and these is the spurious
+(glitch) activity studied in Section III-A.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.netlist import Network
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+def simulate_transitions(net: Network, input_words: Dict[str, int],
+                         count: int) -> Dict[str, int]:
+    """Transitions of every node across ``count`` consecutive patterns.
+
+    The patterns in ``input_words`` are treated as a time sequence;
+    transition k compares pattern k with pattern k+1, so the result for a
+    node is in ``[0, count - 1]`` times at most one per step.
+    """
+    if count < 2:
+        return {name: 0 for name in net.nodes}
+    mask = (1 << count) - 1
+    values = net.evaluate_words(input_words, mask)
+    pair_mask = (1 << (count - 1)) - 1
+    return {name: _popcount((w ^ (w >> 1)) & pair_mask)
+            for name, w in values.items()}
+
+
+def node_one_counts(net: Network, input_words: Dict[str, int],
+                    count: int) -> Dict[str, int]:
+    """Number of patterns on which each node evaluates to 1."""
+    mask = (1 << count) - 1
+    values = net.evaluate_words(input_words, mask)
+    return {name: _popcount(w) for name, w in values.items()}
+
+
+def sequential_transitions(net: Network,
+                           input_sequence: Sequence[Dict[str, int]],
+                           initial_state: Optional[Dict[str, int]] = None
+                           ) -> Tuple[Dict[str, int], List[Dict[str, int]]]:
+    """Clock-by-clock simulation of a sequential network.
+
+    Returns ``(transition_counts, value_trace)`` where the trace holds the
+    scalar value of every node at each cycle.  Latch clock-enables are
+    honoured, so gated registers contribute no transitions while disabled.
+    """
+    state = dict(initial_state) if initial_state is not None \
+        else net.initial_state()
+    trace: List[Dict[str, int]] = []
+    transitions: Dict[str, int] = {name: 0 for name in net.nodes}
+    prev_values: Optional[Dict[str, int]] = None
+    for vec in input_sequence:
+        state, values = net.step_words(state, vec, 1)
+        values = {k: v & 1 for k, v in values.items()}
+        trace.append(values)
+        if prev_values is not None:
+            for name, v in values.items():
+                if prev_values.get(name, v) != v:
+                    transitions[name] += 1
+        prev_values = values
+    return transitions, trace
+
+
+def verify_equivalence_exact(a: Network, b: Network) -> bool:
+    """Formal combinational equivalence via canonical BDDs.
+
+    Builds both networks' output functions in one shared manager; equal
+    functions hash-cons to the same node.  Outputs are matched
+    positionally.  Exact but exponential in the worst case — intended
+    for the netlist sizes the optimizations operate on.
+    """
+    from repro.bdd.bdd import BDD
+    from repro.bdd.circuit import network_bdds
+
+    if set(a.inputs) != set(b.inputs):
+        raise ValueError("networks have different inputs")
+    if len(a.outputs) != len(b.outputs):
+        return False
+    manager = BDD(sorted(a.inputs))
+    fa = network_bdds(a, manager)
+    fb = network_bdds(b, manager)
+    return all(fa[x].node == fb[y].node
+               for x, y in zip(a.outputs, b.outputs))
+
+
+def verify_equivalence(a: Network, b: Network, num_vectors: int = 256,
+                       seed: int = 0) -> bool:
+    """Random simulation check that two combinational networks agree on
+    all primary outputs (same PI names required)."""
+    from repro.sim.vectors import random_words
+
+    if set(a.inputs) != set(b.inputs):
+        raise ValueError("networks have different inputs")
+    if len(a.outputs) != len(b.outputs):
+        return False
+    words = random_words(sorted(a.inputs), num_vectors, seed)
+    mask = (1 << num_vectors) - 1
+    va = a.evaluate_words(words, mask)
+    vb = b.evaluate_words(words, mask)
+    return all(va[x] == vb[y]
+               for x, y in zip(a.outputs, b.outputs))

@@ -1,0 +1,18 @@
+"""System/software level (Section V): instruction-level power."""
+
+from repro.sw.isa import Instruction, Program, OPCODES, assemble
+from repro.sw.cpu import CPU, CPUProfile, ExecutionResult, \
+    big_cpu_profile, dsp_profile
+from repro.sw.power_model import InstructionPowerModel, \
+    fit_instruction_model
+from repro.sw.compile import linear_scan_allocate, strength_reduce, \
+    peephole_mac
+from repro.sw.schedule import cold_schedule, basic_blocks, \
+    control_path_switching
+
+__all__ = ["Instruction", "Program", "OPCODES", "assemble", "CPU",
+           "CPUProfile", "ExecutionResult", "big_cpu_profile",
+           "dsp_profile", "InstructionPowerModel",
+           "fit_instruction_model", "linear_scan_allocate",
+           "strength_reduce", "peephole_mac", "cold_schedule",
+           "basic_blocks", "control_path_switching"]

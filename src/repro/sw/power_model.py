@@ -1,0 +1,132 @@
+"""Instruction-level power-model fitting ([46], Tiwari et al.).
+
+The methodology: measure (here: simulate) loops of a single instruction
+to obtain per-instruction *base* costs, then loops alternating pairs of
+instructions to obtain inter-instruction *overhead* costs.  The fitted
+model predicts whole-program energy from the instruction stream alone,
+which is how the survey's software optimizations evaluate candidate
+code without hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sw.cpu import CPU
+from repro.sw.isa import Instruction, Program
+
+
+def _measurable_ops() -> List[str]:
+    """Straight-line opcodes safe to repeat in a measurement loop."""
+    return ["nop", "li", "mov", "add", "sub", "and", "or", "xor",
+            "shl", "shr", "mul", "mac", "ld", "st"]
+
+
+def _loop_of(ops: Sequence[str], repetitions: int) -> Program:
+    """A straight-line program repeating the opcode pattern."""
+    prog = Program(name="microbench")
+    prog.append(Instruction("li", dst="r1", imm=5))
+    prog.append(Instruction("li", dst="r2", imm=3))
+    for _ in range(repetitions):
+        for op in ops:
+            if op in ("add", "sub", "and", "or", "xor", "mul", "mac"):
+                prog.append(Instruction(op, dst="r3", src1="r1",
+                                        src2="r2"))
+            elif op in ("shl", "shr"):
+                prog.append(Instruction(op, dst="r3", src1="r1", imm=1))
+            elif op == "li":
+                prog.append(Instruction("li", dst="r3", imm=7))
+            elif op == "mov":
+                prog.append(Instruction("mov", dst="r3", src1="r1"))
+            elif op == "ld":
+                prog.append(Instruction("ld", dst="r3", src1="r2",
+                                        imm=0))
+            elif op == "st":
+                prog.append(Instruction("st", dst="r3", src1="r2",
+                                        imm=0))
+            else:
+                prog.append(Instruction("nop"))
+    prog.append(Instruction("halt"))
+    return prog
+
+
+@dataclass
+class InstructionPowerModel:
+    """Fitted base-cost table and pairwise overhead table."""
+
+    base: Dict[str, float]
+    overhead: Dict[Tuple[str, str], float]
+    memory_extra: float = 0.0
+
+    def pair_overhead(self, a: str, b: str) -> float:
+        key = (min(a, b), max(a, b))
+        return self.overhead.get(key, 0.0)
+
+    def predict(self, program_trace: Sequence[str]) -> float:
+        """Predicted energy (nJ) for an executed opcode trace."""
+        total = 0.0
+        prev: Optional[str] = None
+        for op in program_trace:
+            total += self.base.get(op, 1.0)
+            if op in ("ld", "st"):
+                total += self.memory_extra
+            if prev is not None:
+                total += self.pair_overhead(prev, op)
+            prev = op
+        return total
+
+    def predict_program(self, program: Program) -> float:
+        """Predicted energy of a *straight-line* program (no branches):
+        the static instruction list is its own execution trace."""
+        trace = []
+        for ins in program:
+            if ins.is_branch():
+                raise ValueError(
+                    "predict_program is for straight-line code; "
+                    "use predict() on an executed trace")
+            trace.append(ins.op)
+            if ins.op == "halt":
+                break
+        return self.predict(trace)
+
+    def prediction_error(self, cpu: CPU, program: Program) -> float:
+        """Relative error of the model against a measured run."""
+        measured = cpu.run(program)
+        predicted = self.predict(measured.opcode_trace)
+        return abs(predicted - measured.energy) / measured.energy
+
+
+def fit_instruction_model(cpu: CPU, repetitions: int = 200
+                          ) -> InstructionPowerModel:
+    """Tiwari's two-step characterization against the given CPU."""
+    ops = _measurable_ops()
+    base: Dict[str, float] = {}
+    # Step 1: single-instruction loops.  The loop repeats one opcode, so
+    # the per-instruction energy includes the (op, op) self-overhead —
+    # exactly as in the physical measurements.
+    for op in ops:
+        prog = _loop_of([op], repetitions)
+        res = cpu.run(prog)
+        # Subtract the prologue/halt by differencing two lengths.
+        prog2 = _loop_of([op], repetitions * 2)
+        res2 = cpu.run(prog2)
+        per_instr = (res2.energy - res.energy) / repetitions
+        if op in ("ld", "st"):
+            per_instr -= cpu.profile.memory_energy
+        base[op] = per_instr
+    # Step 2: alternating pairs give base(a)+base(b)+2·overhead(a,b).
+    overhead: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(ops):
+        for b in ops[i:]:
+            prog = _loop_of([a, b], repetitions)
+            prog2 = _loop_of([a, b], repetitions * 2)
+            res = cpu.run(prog)
+            res2 = cpu.run(prog2)
+            per_pair = (res2.energy - res.energy) / repetitions
+            mem_ops = int(a in ("ld", "st")) + int(b in ("ld", "st"))
+            per_pair -= mem_ops * cpu.profile.memory_energy
+            ov = (per_pair - base[a] - base[b]) / 2.0
+            overhead[(min(a, b), max(a, b))] = ov
+    return InstructionPowerModel(base=base, overhead=overhead,
+                                 memory_extra=cpu.profile.memory_energy)

@@ -1,0 +1,168 @@
+"""Sample kernels for the software-power experiments.
+
+Programs are written with virtual registers (``v*``) so the register
+allocator can be run with different register budgets, and in an
+unfused form so strength reduction / MAC packing have work to do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sw.isa import Instruction, Program
+
+
+def dot_product(n: int) -> Tuple[Program, Dict[int, int], int]:
+    """Unrolled n-element dot product.
+
+    Returns (program, initial memory, expected result).  Vectors live
+    at addresses 0.. and 100..; the result is stored to address 200.
+    """
+    memory = {}
+    expected = 0
+    for i in range(n):
+        a, b = i + 1, 2 * i + 1
+        memory[i] = a
+        memory[100 + i] = b
+        expected += a * b
+    prog = Program(name=f"dot{n}")
+    prog.append(Instruction("li", dst="v0", imm=0))       # acc
+    for i in range(n):
+        prog.append(Instruction("li", dst="v1", imm=i))
+        prog.append(Instruction("ld", dst="v2", src1="v1", imm=0))
+        prog.append(Instruction("li", dst="v3", imm=100 + i))
+        prog.append(Instruction("ld", dst="v4", src1="v3", imm=0))
+        prog.append(Instruction("mul", dst="v5", src1="v2", src2="v4"))
+        prog.append(Instruction("add", dst="v0", src1="v0", src2="v5"))
+    prog.append(Instruction("li", dst="v6", imm=200))
+    prog.append(Instruction("st", dst="v0", src1="v6", imm=0))
+    prog.append(Instruction("halt"))
+    return prog, memory, expected
+
+
+def scale_by_constant(n: int, constant: int
+                      ) -> Tuple[Program, Dict[int, int], List[int]]:
+    """y[i] = constant · x[i] — strength-reduction workload when the
+    constant is a power of two."""
+    memory = {i: i + 3 for i in range(n)}
+    expected = [constant * (i + 3) for i in range(n)]
+    prog = Program(name=f"scale{n}x{constant}")
+    prog.append(Instruction("li", dst="v9", imm=constant))
+    for i in range(n):
+        prog.append(Instruction("li", dst="v1", imm=i))
+        prog.append(Instruction("ld", dst="v2", src1="v1", imm=0))
+        prog.append(Instruction("mul", dst="v3", src1="v2", src2="v9"))
+        prog.append(Instruction("li", dst="v4", imm=300 + i))
+        prog.append(Instruction("st", dst="v3", src1="v4", imm=0))
+    prog.append(Instruction("halt"))
+    return prog, memory, expected
+
+
+def fir_kernel(taps: int) -> Tuple[Program, Dict[int, int], int]:
+    """One FIR output sample: y = Σ c_i · x_i (unrolled, MAC-packable)."""
+    memory = {}
+    expected = 0
+    for i in range(taps):
+        c, x = i + 1, (7 * i + 2) % 16
+        memory[i] = c
+        memory[50 + i] = x
+        expected += c * x
+    prog = Program(name=f"fir{taps}")
+    prog.append(Instruction("li", dst="v0", imm=0))
+    for i in range(taps):
+        prog.append(Instruction("li", dst="v1", imm=i))
+        prog.append(Instruction("ld", dst="v2", src1="v1", imm=0))
+        prog.append(Instruction("li", dst="v3", imm=50 + i))
+        prog.append(Instruction("ld", dst="v4", src1="v3", imm=0))
+        prog.append(Instruction("mul", dst="v5", src1="v2", src2="v4"))
+        prog.append(Instruction("add", dst="v0", src1="v0", src2="v5"))
+    prog.append(Instruction("li", dst="v6", imm=99))
+    prog.append(Instruction("st", dst="v0", src1="v6", imm=0))
+    prog.append(Instruction("halt"))
+    return prog, memory, expected
+
+
+def linear_search(n: int, target_index: int
+                  ) -> Tuple[Program, Dict[int, int], int]:
+    """O(n) scan of a sorted array for a key (algorithm-choice study,
+    [49]).  The found index is stored at address 500."""
+    memory = {i: 10 * i + 5 for i in range(n)}
+    key = memory[target_index]
+    prog = Program(name=f"lsearch{n}")
+    prog.append(Instruction("li", dst="r1", imm=0))        # index
+    prog.append(Instruction("li", dst="r2", imm=key))
+    prog.append(Instruction("li", dst="r3", imm=1))
+    prog.append(Instruction("li", dst="r4", imm=n))
+    loop = Instruction("ld", dst="r5", src1="r1", imm=0, label="loop")
+    prog.append(loop)
+    prog.append(Instruction("beq", dst="r5", src1="r2", target="found"))
+    prog.append(Instruction("add", dst="r1", src1="r1", src2="r3"))
+    prog.append(Instruction("blt", dst="r1", src1="r4", target="loop"))
+    prog.append(Instruction("li", dst="r1", imm=-1, label="notfound"))
+    found = Instruction("li", dst="r6", imm=500)
+    found.label = "found"
+    prog.append(found)
+    prog.append(Instruction("st", dst="r1", src1="r6", imm=0))
+    prog.append(Instruction("halt"))
+    return prog, memory, target_index
+
+
+def binary_search(n: int, target_index: int
+                  ) -> Tuple[Program, Dict[int, int], int]:
+    """O(log n) search of the same sorted array — fewer memory touches,
+    hence (per [46]) lower energy despite the heavier loop body."""
+    memory = {i: 10 * i + 5 for i in range(n)}
+    key = memory[target_index]
+    prog = Program(name=f"bsearch{n}")
+    prog.append(Instruction("li", dst="r1", imm=0))        # lo
+    prog.append(Instruction("li", dst="r2", imm=n - 1))    # hi
+    prog.append(Instruction("li", dst="r3", imm=key))
+    prog.append(Instruction("li", dst="r4", imm=1))
+    loop = Instruction("blt", dst="r2", src1="r1", target="notfound")
+    loop.label = "loop"
+    prog.append(loop)
+    prog.append(Instruction("add", dst="r5", src1="r1", src2="r2"))
+    prog.append(Instruction("shr", dst="r5", src1="r5", imm=1))  # mid
+    prog.append(Instruction("ld", dst="r6", src1="r5", imm=0))
+    prog.append(Instruction("beq", dst="r6", src1="r3",
+                            target="found"))
+    prog.append(Instruction("blt", dst="r6", src1="r3",
+                            target="golow"))
+    # key < mem[mid]: hi = mid - 1
+    prog.append(Instruction("sub", dst="r2", src1="r5", src2="r4"))
+    prog.append(Instruction("jmp", target="loop"))
+    golow = Instruction("add", dst="r1", src1="r5", src2="r4")
+    golow.label = "golow"                                  # lo = mid+1
+    prog.append(golow)
+    prog.append(Instruction("jmp", target="loop"))
+    nf = Instruction("li", dst="r5", imm=-1)
+    nf.label = "notfound"
+    prog.append(nf)
+    found = Instruction("li", dst="r7", imm=500)
+    found.label = "found"
+    prog.append(found)
+    prog.append(Instruction("st", dst="r5", src1="r7", imm=0))
+    prog.append(Instruction("halt"))
+    return prog, memory, target_index
+
+
+def mixed_block(n: int = 12) -> Program:
+    """A dependency-light straight-line block with diverse opcodes —
+    the cold-scheduling stress case (original order alternates opcode
+    families maximally)."""
+    prog = Program(name="mixed")
+    ops = ["add", "ld", "xor", "st", "sub", "ld", "or", "st",
+           "and", "ld", "add", "st"]
+    prog.append(Instruction("li", dst="r1", imm=1))
+    prog.append(Instruction("li", dst="r2", imm=2))
+    for i in range(n):
+        op = ops[i % len(ops)]
+        dst = f"r{3 + (i % 8)}"
+        if op in ("add", "sub", "xor", "or", "and"):
+            prog.append(Instruction(op, dst=dst, src1="r1", src2="r2"))
+        elif op == "ld":
+            prog.append(Instruction("ld", dst=dst, src1="r1", imm=i))
+        else:
+            prog.append(Instruction("st", dst="r2", src1="r1", imm=i))
+    prog.append(Instruction("halt"))
+    return prog

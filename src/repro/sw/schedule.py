@@ -1,0 +1,126 @@
+"""Cold scheduling ([40] Su/Tsui/Despain; Section V).
+
+Reorders the instructions of each basic block — respecting data
+dependences — to minimize the control-path switching, modelled as the
+Hamming distance between consecutive opcode encodings.  The experiments
+contrast a DSP profile (strong inter-instruction overhead, scheduling
+pays) with a big CPU (overhead marginal), reproducing the paper's
+"may not be an important issue for large general purpose CPUs".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sw.isa import Instruction, OPCODES, Program
+
+
+def basic_blocks(prog: Program) -> List[Tuple[int, int]]:
+    """(start, end) index ranges of branch-free, label-free regions."""
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    for i, ins in enumerate(prog.instructions):
+        boundary_before = ins.label is not None
+        boundary_after = ins.is_branch() or ins.op == "halt"
+        if boundary_before and i > start:
+            blocks.append((start, i))
+            start = i
+        if boundary_after:
+            blocks.append((start, i + 1))
+            start = i + 1
+    if start < len(prog.instructions):
+        blocks.append((start, len(prog.instructions)))
+    return [b for b in blocks if b[1] > b[0]]
+
+
+def control_path_switching(trace: Sequence[str]) -> int:
+    """Total opcode-encoding bit flips along an instruction stream."""
+    total = 0
+    prev: Optional[int] = None
+    for op in trace:
+        enc = OPCODES[op]
+        if prev is not None:
+            total += bin(prev ^ enc).count("1")
+        prev = enc
+    return total
+
+
+def _dependencies(block: List[Instruction]) -> List[Set[int]]:
+    """deps[i] = indices that must execute before instruction i."""
+    deps: List[Set[int]] = [set() for _ in block]
+    last_write: Dict[str, int] = {}
+    last_reads: Dict[str, List[int]] = {}
+    last_mem: Optional[int] = None
+    for i, ins in enumerate(block):
+        for r in ins.reads():
+            if r in last_write:
+                deps[i].add(last_write[r])           # RAW
+        for w in ins.writes():
+            if w in last_write:
+                deps[i].add(last_write[w])           # WAW
+            for rd in last_reads.get(w, ()):
+                deps[i].add(rd)                      # WAR
+        if ins.is_memory():
+            if last_mem is not None:
+                deps[i].add(last_mem)                # memory order
+            last_mem = i
+        for r in ins.reads():
+            last_reads.setdefault(r, []).append(i)
+        for w in ins.writes():
+            last_write[w] = i
+            last_reads[w] = []
+        deps[i].discard(i)
+    return deps
+
+
+def cold_schedule_block(block: List[Instruction],
+                        prev_op: Optional[str] = None
+                        ) -> List[Instruction]:
+    """Greedy list schedule minimizing adjacent opcode Hamming distance."""
+    n = len(block)
+    deps = _dependencies(block)
+    remaining = set(range(n))
+    done: Set[int] = set()
+    out: List[Instruction] = []
+    last_enc = OPCODES[prev_op] if prev_op else None
+    while remaining:
+        ready = [i for i in remaining if deps[i] <= done]
+        if last_enc is None:
+            # Keep the original first instruction to preserve labels.
+            choice = min(ready)
+        else:
+            choice = min(ready,
+                         key=lambda i: (bin(last_enc ^
+                                            block[i].encoding())
+                                        .count("1"), i))
+        out.append(block[choice])
+        last_enc = block[choice].encoding()
+        remaining.discard(choice)
+        done.add(choice)
+    # Labels must stay on the first instruction of the block.
+    labels = [ins.label for ins in block if ins.label]
+    if labels:
+        for ins in out:
+            ins.label = None
+        out[0].label = labels[0]
+    return out
+
+
+def cold_schedule(prog: Program) -> Program:
+    """Apply cold scheduling to every basic block of a program."""
+    src = prog.copy()
+    out_instrs: List[Instruction] = list(src.instructions)
+    prev_op: Optional[str] = None
+    for start, end in basic_blocks(src):
+        block = out_instrs[start:end]
+        # The trailing branch/halt must stay last.
+        tail: List[Instruction] = []
+        if block and (block[-1].is_branch() or block[-1].op == "halt"):
+            tail = [block[-1]]
+            block = block[:-1]
+        if len(block) > 1:
+            block = cold_schedule_block(block, prev_op)
+        out_instrs[start:end] = block + tail
+        if end - 1 >= 0 and out_instrs[end - 1:end]:
+            prev_op = out_instrs[end - 1].op
+    return Program(out_instrs, name=prog.name + "_cold")

@@ -1,0 +1,4 @@
+"""Command-line tools: power reporting and optimization of BLIF files.
+
+Run as ``python -m repro.tools.cli`` (see that module for subcommands).
+"""

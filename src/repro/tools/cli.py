@@ -1,0 +1,207 @@
+"""``python -m repro.tools.cli`` — the framework's command line.
+
+Subcommands:
+
+* ``report <file.blif>``   — Eqn-1 power breakdown and statistics
+* ``glitch <file.blif>``   — timed vs zero-delay transition analysis
+* ``optimize <file.blif>`` — run the low-power flow, write BLIF out
+* ``map <file.blif>``      — technology map (area/power/delay objective)
+* ``balance <file.blif>``  — path-balancing buffer insertion
+
+All commands accept ``--vectors`` (simulation length) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.logic.blif import read_blif, write_blif
+from repro.logic.netlist import Network
+
+
+def _load(path: str) -> Network:
+    with open(path) as f:
+        return read_blif(f)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.power.model import average_power
+
+    net = _load(args.netlist)
+    print(f"{net!r}")
+    for key, value in net.stats().items():
+        print(f"  {key:12s}: {value}")
+    rep = average_power(net, num_vectors=args.vectors, seed=args.seed)
+    print(rep.summary())
+    if args.per_node:
+        worst = sorted(rep.per_node.items(), key=lambda kv: -kv[1])
+        print("\nhottest nodes:")
+        for name, p in worst[:args.per_node]:
+            print(f"  {name:20s} {p * 1e6:10.4f} uW "
+                  f"(activity {rep.activity.get(name, 0):.3f})")
+    return 0
+
+
+def _cmd_glitch(args: argparse.Namespace) -> int:
+    from repro.power.glitch import glitch_report
+
+    net = _load(args.netlist)
+    rep = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
+    print(f"timed transitions      : {rep.total_timed}")
+    print(f"zero-delay transitions : {rep.total_functional}")
+    print(f"glitch fraction        : {rep.glitch_fraction:.1%}")
+    print(f"glitch power fraction  : {rep.glitch_power_fraction:.1%}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.flow import low_power_flow
+
+    net = _load(args.netlist)
+    if net.latches:
+        print("error: the combinational flow does not take sequential "
+              "netlists", file=sys.stderr)
+        return 1
+    result = low_power_flow(net, num_vectors=args.vectors,
+                            seed=args.seed,
+                            use_mapping=not args.no_map,
+                            use_sizing=not args.no_size)
+    print(result.summary())
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(write_blif(result.final))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.library.cells import generic_library
+    from repro.opt.logic.mapping import tech_map
+    from repro.sim.functional import verify_equivalence
+
+    net = _load(args.netlist)
+    res = tech_map(net, generic_library(), args.objective,
+                   seed=args.seed)
+    if not verify_equivalence(net, res.mapped, 256, args.seed):
+        print("error: mapping broke equivalence", file=sys.stderr)
+        return 1
+    print(f"objective : {res.objective}")
+    print(f"area      : {res.total_area:.1f}")
+    print(f"arrival   : {res.arrival:.2f}")
+    print("cells     :")
+    for cell, count in sorted(res.cells_used.items()):
+        print(f"  {cell:12s} x{count}")
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(write_blif(res.mapped))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.opt.logic.balance import balance_paths
+    from repro.power.glitch import glitch_report
+
+    net = _load(args.netlist)
+    before = glitch_report(net, num_vectors=args.vectors,
+                           seed=args.seed)
+    res = balance_paths(net)
+    after = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
+    print(f"buffers added          : {res.buffers_added}")
+    print(f"glitch power fraction  : {before.glitch_power_fraction:.1%}"
+          f" -> {after.glitch_power_fraction:.1%}")
+    print(f"depth                  : {res.depth_before:g} -> "
+          f"{res.depth_after:g}")
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(write_blif(net))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_fsm(args: argparse.Namespace) -> int:
+    from repro.core.flow import fsm_low_power_flow
+    from repro.opt.seq.fsm_benchmarks import benchmark_names, \
+        load_benchmark
+    from repro.opt.seq.stg import read_kiss
+
+    if args.kiss in benchmark_names():
+        stg = load_benchmark(args.kiss)
+    else:
+        with open(args.kiss) as f:
+            stg = read_kiss(f)
+    res = fsm_low_power_flow(stg, sequence_length=args.vectors,
+                             seed=args.seed)
+    print(f"states               : {res.states_before} -> "
+          f"{res.states_after}")
+    print(f"self-loop activation : {res.activation_probability:.2f}")
+    print(f"power (incl. clock)  : {res.power_before * 1e6:.2f} uW -> "
+          f"{res.power_after * 1e6:.2f} uW ({res.saving:+.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-power VLSI optimization framework "
+                    "(Devadas & Malik, DAC 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("netlist", help="input BLIF file")
+        p.add_argument("--vectors", type=int, default=1024,
+                       help="simulation vectors (default 1024)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report", help="power breakdown")
+    common(p)
+    p.add_argument("--per-node", type=int, default=0, metavar="N",
+                   help="also list the N hottest nodes")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("glitch", help="spurious-transition analysis")
+    common(p)
+    p.set_defaults(func=_cmd_glitch)
+
+    p = sub.add_parser("optimize", help="run the low-power flow")
+    common(p)
+    p.add_argument("-o", "--output", help="write optimized BLIF here")
+    p.add_argument("--no-map", action="store_true",
+                   help="skip technology mapping")
+    p.add_argument("--no-size", action="store_true",
+                   help="skip transistor sizing")
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("map", help="technology mapping")
+    common(p)
+    p.add_argument("--objective", choices=("area", "power", "delay"),
+                   default="power")
+    p.add_argument("-o", "--output", help="write mapped BLIF here")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("balance", help="path-balancing buffers")
+    common(p)
+    p.add_argument("-o", "--output", help="write balanced BLIF here")
+    p.set_defaults(func=_cmd_balance)
+
+    p = sub.add_parser("fsm", help="FSM low-power flow (minimize + "
+                       "encode + clock-gate)")
+    p.add_argument("kiss", help="KISS file, or a bundled benchmark "
+                   "name (traffic, detector, vending, arbiter, "
+                   "redundant, elevator)")
+    p.add_argument("--vectors", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fsm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

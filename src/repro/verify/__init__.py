@@ -1,0 +1,8 @@
+"""Formal equivalence checking for combinational and sequential nets."""
+
+from repro.verify.equivalence import (combinational_equivalent,
+                                      sequential_equivalent,
+                                      EquivalenceResult)
+
+__all__ = ["combinational_equivalent", "sequential_equivalent",
+           "EquivalenceResult"]

@@ -1,0 +1,106 @@
+"""Unit tests for the arithmetic-architecture generators (CLA,
+carry-select, Wallace) and their power characteristics."""
+
+import random
+
+import pytest
+
+from repro.logic.generators import (array_multiplier,
+                                    carry_lookahead_adder,
+                                    carry_select_adder,
+                                    ripple_carry_adder,
+                                    wallace_multiplier)
+from repro.power.glitch import glitch_report
+from repro.sim.functional import verify_equivalence
+
+
+def bits(value, n, prefix):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(n)}
+
+
+class TestCLA:
+    @pytest.mark.parametrize("n,block", [(4, 4), (8, 4), (8, 2), (6, 3)])
+    def test_functional(self, n, block):
+        net = carry_lookahead_adder(n, block)
+        net.check()
+        rng = random.Random(n * 10 + block)
+        for _ in range(200):
+            a, b = rng.randrange(1 << n), rng.randrange(1 << n)
+            cin = rng.getrandbits(1)
+            vec = {**bits(a, n, "a"), **bits(b, n, "b"), "cin": cin}
+            out = net.evaluate(vec)
+            s = sum(out[f"s{i}"] << i for i in range(n))
+            s += out[f"c{n}"] << n
+            assert s == a + b + cin
+
+    def test_shallower_than_ripple(self):
+        assert carry_lookahead_adder(8).depth() < \
+            ripple_carry_adder(8).depth()
+
+    def test_matches_ripple(self):
+        assert verify_equivalence(carry_lookahead_adder(5),
+                                  ripple_carry_adder(5), 512)
+
+
+class TestCarrySelect:
+    @pytest.mark.parametrize("n,block", [(4, 2), (8, 4), (8, 3)])
+    def test_functional(self, n, block):
+        net = carry_select_adder(n, block)
+        net.check()
+        rng = random.Random(n + block)
+        for _ in range(200):
+            a, b = rng.randrange(1 << n), rng.randrange(1 << n)
+            cin = rng.getrandbits(1)
+            vec = {**bits(a, n, "a"), **bits(b, n, "b"), "cin": cin}
+            out = net.evaluate(vec)
+            s = sum(out[f"s{i}"] << i for i in range(n))
+            s += out[net.outputs[-1]] << n
+            assert s == a + b + cin
+
+    def test_fastest_of_the_three(self):
+        d = carry_select_adder(8).depth()
+        assert d <= carry_lookahead_adder(8).depth()
+        assert d < ripple_carry_adder(8).depth()
+
+    def test_duplication_costs_transistors(self):
+        assert carry_select_adder(8).num_transistors() > \
+            ripple_carry_adder(8).num_transistors()
+
+
+class TestWallace:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_functional(self, n):
+        net = wallace_multiplier(n)
+        net.check()
+        rng = random.Random(n)
+        for _ in range(150):
+            a, b = rng.randrange(1 << n), rng.randrange(1 << n)
+            vec = {**bits(a, n, "a"), **bits(b, n, "b")}
+            out = net.evaluate(vec)
+            p = sum(out[f"p{k}"] << k for k in range(2 * n))
+            assert p == a * b
+
+    def test_matches_array(self):
+        assert verify_equivalence(wallace_multiplier(4),
+                                  array_multiplier(4), 512)
+
+    def test_not_deeper_than_array(self):
+        assert wallace_multiplier(5).depth() <= \
+            array_multiplier(5).depth()
+
+
+class TestArchitecturePower:
+    def test_speed_costs_glitch_or_area(self):
+        """Shallow adders buy delay with duplicated or wide logic; the
+        ripple adder has the fewest transistors."""
+        rca = ripple_carry_adder(8)
+        cla = carry_lookahead_adder(8)
+        csel = carry_select_adder(8)
+        assert rca.num_transistors() <= cla.num_transistors()
+        assert rca.num_transistors() <= csel.num_transistors()
+
+    def test_all_adders_glitch_within_band(self):
+        for maker in (ripple_carry_adder, carry_lookahead_adder,
+                      carry_select_adder):
+            rep = glitch_report(maker(6), num_vectors=96, seed=2)
+            assert 0.0 <= rep.glitch_power_fraction < 0.6

@@ -1,0 +1,273 @@
+"""Unit tests for the architecture level (DFG, scheduling, binding,
+module power models, transformations, memory)."""
+
+import pytest
+
+from repro.arch.allocation import (bind_operations,
+                                   binding_switched_capacitance,
+                                   profile_operands)
+from repro.arch.dfg import (DFG, chained_sum_dfg, fir_dfg,
+                            iir_biquad_dfg)
+from repro.arch.memory import (MemoryHierarchy, best_loop_order,
+                               loop_access_trace, memory_energy)
+from repro.arch.power_models import (characterize_module,
+                                     default_module_library, pfa_power,
+                                     activity_power)
+from repro.arch.scheduling import (alap_schedule, asap_schedule,
+                                   list_schedule, required_units,
+                                   schedule_length)
+from repro.arch.transforms import (delay_factor, scaled_power,
+                                   transform_and_scale,
+                                   tree_height_reduction, unroll,
+                                   voltage_for_slowdown)
+
+
+class TestDFG:
+    def test_fir_structure(self):
+        dfg = fir_dfg(4)
+        assert len([o for o in dfg.ops.values() if o.op == "mul"]) == 4
+        assert len([o for o in dfg.ops.values() if o.op == "add"]) == 3
+        assert dfg.outputs == ["y"]
+
+    def test_duplicate_rejected(self):
+        dfg = DFG()
+        dfg.add("x", "input")
+        with pytest.raises(ValueError):
+            dfg.add("x", "input")
+
+    def test_undefined_operand_rejected(self):
+        dfg = DFG()
+        with pytest.raises(ValueError):
+            dfg.add("y", "add", ["a", "b"])
+
+    def test_evaluate_fir(self):
+        dfg = fir_dfg(3)
+        out = dfg.evaluate({"x0": 1.0, "x1": 2.0, "x2": 3.0})
+        # coefficients 1,2,3
+        assert out["y"] == pytest.approx(1 * 1 + 2 * 2 + 3 * 3)
+
+    def test_critical_path(self):
+        assert chained_sum_dfg(8).critical_path() == 7
+        # FIR: mul (2) + chain of adds
+        assert fir_dfg(4).critical_path() == 2 + 3
+
+    def test_copy_independent(self):
+        dfg = fir_dfg(2)
+        cp = dfg.copy()
+        cp.ops["y"].operands = []
+        assert dfg.ops["y"].operands
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        dfg = fir_dfg(4)
+        s = asap_schedule(dfg)
+        for op in dfg.compute_ops():
+            for src in op.operands:
+                src_op = dfg.ops[src]
+                d = 2 if src_op.op == "mul" else \
+                    (1 if src_op.is_compute() else 0)
+                assert s[op.name] >= s[src] + d
+
+    def test_alap_within_latency(self):
+        dfg = fir_dfg(4)
+        latency = dfg.critical_path()
+        s = alap_schedule(dfg, latency)
+        assert schedule_length(dfg, s) <= latency
+
+    def test_alap_not_before_asap(self):
+        dfg = iir_biquad_dfg()
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        for name in asap:
+            assert alap[name] >= asap[name]
+
+    def test_list_schedule_resource_limit(self):
+        dfg = fir_dfg(6)
+        s = list_schedule(dfg, {"mul": 1, "add": 1})
+        units = required_units(dfg, s)
+        assert units.get("mul", 0) <= 1
+        assert units.get("add", 0) <= 1
+
+    def test_more_units_shorter_schedule(self):
+        dfg = fir_dfg(6)
+        s1 = list_schedule(dfg, {"mul": 1, "add": 1})
+        s2 = list_schedule(dfg, {"mul": 3, "add": 2})
+        assert schedule_length(dfg, s2) <= schedule_length(dfg, s1)
+
+    def test_unconstrained_matches_asap_length(self):
+        dfg = fir_dfg(5)
+        s = list_schedule(dfg, {})
+        assert schedule_length(dfg, s) == dfg.critical_path()
+
+
+class TestBinding:
+    def test_low_power_no_worse_than_naive(self):
+        dfg = fir_dfg(8)
+        sched = list_schedule(dfg, {"mul": 2, "add": 2})
+        traces = profile_operands(dfg, 64, seed=1)
+        naive = bind_operations(dfg, sched, "naive", traces)
+        lp = bind_operations(dfg, sched, "low-power", traces)
+        assert lp.switched_capacitance <= \
+            naive.switched_capacitance + 1e-9
+
+    def test_binding_is_conflict_free(self):
+        dfg = fir_dfg(8)
+        sched = list_schedule(dfg, {"mul": 2, "add": 2})
+        res = bind_operations(dfg, sched)
+        seqs = res.unit_sequences(dfg, sched)
+        for inst, names in seqs.items():
+            times = [sched[n] for n in names]
+            assert times == sorted(times)
+            # No two ops start at the same step on one unit.
+            assert len(set(times)) == len(times)
+
+    def test_cost_recomputation_matches(self):
+        dfg = fir_dfg(6)
+        sched = list_schedule(dfg, {"mul": 2, "add": 2})
+        traces = profile_operands(dfg, 32, seed=2)
+        res = bind_operations(dfg, sched, "low-power", traces)
+        again = binding_switched_capacitance(dfg, sched, res.binding,
+                                             traces)
+        assert again == pytest.approx(res.switched_capacitance)
+
+    def test_bad_strategy_rejected(self):
+        dfg = fir_dfg(3)
+        sched = list_schedule(dfg, {})
+        with pytest.raises(ValueError):
+            bind_operations(dfg, sched, "fastest")
+
+
+class TestModulePower:
+    def test_library_variants(self):
+        lib = default_module_library()
+        assert lib.fastest("add").delay <= lib.lowest_power("add").delay
+        assert lib.lowest_power("mul").cap_per_op < \
+            lib.fastest("mul").cap_per_op
+
+    def test_pfa_power_positive(self):
+        dfg = fir_dfg(4)
+        sched = list_schedule(dfg, {"mul": 1, "add": 1})
+        lib = default_module_library()
+        mods = {"add": lib.fastest("add"), "mul": lib.fastest("mul")}
+        p = pfa_power(dfg, sched, mods)
+        assert p > 0
+
+    def test_activity_power_tracks_statistics(self):
+        dfg = fir_dfg(4)
+        sched = list_schedule(dfg, {"mul": 1, "add": 1})
+        lib = default_module_library()
+        mods = {"add": lib.fastest("add"), "mul": lib.fastest("mul")}
+        names = [o.name for o in dfg.compute_ops()]
+        quiet = activity_power(dfg, sched, mods,
+                               {n: 0.05 for n in names})
+        noisy = activity_power(dfg, sched, mods,
+                               {n: 0.5 for n in names})
+        assert quiet < noisy
+
+    def test_characterize_module_fit(self):
+        from repro.logic.generators import ripple_carry_adder
+
+        ch = characterize_module(ripple_carry_adder(4), "add", "rca4",
+                                 num_vectors=256)
+        assert ch.module.cap_per_op > 0
+        assert ch.module.cap_slope > 0      # more input flips, more cap
+        # The affine fit should track the measurements closely.
+        for h, cap in ch.samples:
+            pred = ch.module.cap_base + ch.module.cap_slope * h
+            assert pred == pytest.approx(cap, rel=0.35)
+
+    def test_blackbox_beats_uwn_off_nominal(self):
+        """At low input activity the UWN model overpredicts; the
+        black-box model follows."""
+        from repro.logic.generators import ripple_carry_adder
+
+        ch = characterize_module(ripple_carry_adder(4), "add", "rca4",
+                                 num_vectors=256)
+        low_h = min(ch.samples, key=lambda s: s[0])
+        err_uwn = ch.prediction_error(low_h[0], low_h[1], "uwn")
+        err_bb = ch.prediction_error(low_h[0], low_h[1], "blackbox")
+        assert err_bb < err_uwn
+
+
+class TestTransforms:
+    def test_delay_factor_monotone(self):
+        assert delay_factor(3.3) == pytest.approx(1.0)
+        assert delay_factor(2.0) > 1.0
+        assert delay_factor(1.5) > delay_factor(2.0)
+
+    def test_voltage_for_slowdown_inverts_delay(self):
+        v = voltage_for_slowdown(2.0)
+        assert delay_factor(v) <= 2.0 + 1e-6
+        assert v < 3.3
+
+    def test_scaled_power_quadratic(self):
+        assert scaled_power(1.0, 1.65) == pytest.approx(0.25)
+
+    def test_tree_height_reduction(self):
+        chain = chained_sum_dfg(8)
+        thr = tree_height_reduction(chain)
+        assert thr.critical_path() < chain.critical_path()
+        # Same op count (no capacitance change).
+        assert len(thr.compute_ops()) == len(chain.compute_ops())
+        inputs = {f"x{i}": float(i * i - 3) for i in range(8)}
+        assert thr.evaluate(inputs)["y"] == pytest.approx(
+            chain.evaluate(inputs)["y"])
+
+    def test_unroll_replicates(self):
+        dfg = iir_biquad_dfg()
+        u = unroll(dfg, 3)
+        assert len(u.compute_ops()) == 3 * len(dfg.compute_ops())
+        assert u.critical_path() == dfg.critical_path()
+
+    def test_transform_and_scale_saves_power(self):
+        """Claim C13: the quadratic V² win beats the capacitance cost."""
+        chain = chained_sum_dfg(8)
+        thr = tree_height_reduction(chain)
+        res = transform_and_scale(chain, thr)
+        assert res.vdd < 3.3
+        assert res.power_ratio < 0.6
+        assert res.cap_ratio == pytest.approx(1.0)
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError):
+            voltage_for_slowdown(0.5)
+
+
+class TestMemory:
+    def test_trace_length(self):
+        trace = loop_access_trace((4, 8), (0, 1))
+        assert len(trace) == 32
+
+    def test_row_major_is_unit_stride(self):
+        trace = loop_access_trace((4, 4), (0, 1))
+        assert trace == list(range(16))
+
+    def test_column_major_strides(self):
+        trace = loop_access_trace((2, 3), (1, 0))
+        assert trace == [0, 3, 1, 4, 2, 5]
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            loop_access_trace((2, 2), (0, 0))
+
+    def test_unit_stride_fewer_misses(self):
+        h = MemoryHierarchy(buffer_words=32)
+        good = loop_access_trace((32, 32), (0, 1))
+        bad = loop_access_trace((32, 32), (1, 0))
+        _, _, miss_good = memory_energy(good, h)
+        _, _, miss_bad = memory_energy(bad, h)
+        assert miss_good < miss_bad
+
+    def test_best_loop_order_is_row_major(self):
+        best, table = best_loop_order((16, 16))
+        assert best == (0, 1)
+        assert table[(0, 1)] < table[(1, 0)]
+
+    def test_offchip_penalty(self):
+        on = MemoryHierarchy(offchip=False)
+        off = MemoryHierarchy(offchip=True)
+        trace = loop_access_trace((16, 16), (1, 0))
+        e_on, _, _ = memory_energy(trace, on)
+        e_off, _, _ = memory_energy(trace, off)
+        assert e_off > e_on

@@ -1,0 +1,166 @@
+"""Unit tests for the ROBDD package."""
+
+import pytest
+
+from repro.bdd.bdd import BDD
+
+
+@pytest.fixture
+def mgr():
+    return BDD(["a", "b", "c"])
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.true.is_true
+        assert mgr.false.is_false
+        assert (~mgr.true).is_false
+
+    def test_var(self, mgr):
+        a = mgr.var("a")
+        assert a.evaluate({"a": 1})
+        assert not a.evaluate({"a": 0})
+
+    def test_hash_consing(self, mgr):
+        a1 = mgr.var("a")
+        a2 = mgr.var("a")
+        assert a1.node == a2.node
+
+    def test_new_variable_on_demand(self, mgr):
+        d = mgr.var("d")
+        assert "d" in mgr.var_level
+
+    def test_duplicate_variable_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.add_variable("a")
+
+
+class TestOperators:
+    def test_and_or_not(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a & b
+        assert f.evaluate({"a": 1, "b": 1})
+        assert not f.evaluate({"a": 1, "b": 0})
+        g = a | b
+        assert g.evaluate({"a": 0, "b": 1})
+        assert not g.evaluate({"a": 0, "b": 0})
+        assert (~a).evaluate({"a": 0})
+
+    def test_xor(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a ^ b
+        assert f.evaluate({"a": 1, "b": 0})
+        assert not f.evaluate({"a": 1, "b": 1})
+
+    def test_canonicity(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f1 = ~(a & b)
+        f2 = ~a | ~b
+        assert f1.node == f2.node   # De Morgan, canonical form
+
+    def test_ite(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = a.ite(b, c)
+        assert f.evaluate({"a": 1, "b": 1, "c": 0})
+        assert f.evaluate({"a": 0, "b": 0, "c": 1})
+        assert not f.evaluate({"a": 1, "b": 0, "c": 1})
+
+    def test_bool_coercion(self, mgr):
+        a = mgr.var("a")
+        assert (a & True).node == a.node
+        assert (a & False).is_false
+        assert (a | True).is_true
+
+    def test_implies_equiv(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert (a & b).implies(a)
+        assert not a.implies(a & b)
+        assert (a & b).equiv(b & a)
+
+    def test_mixing_managers_rejected(self, mgr):
+        other = BDD(["x"])
+        with pytest.raises(ValueError):
+            mgr.var("a") & other.var("x")
+
+
+class TestQuantification:
+    def test_exists(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = (a & b).exists(["b"])
+        assert f.node == a.node
+
+    def test_forall(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = (a | b).forall(["b"])
+        assert f.node == a.node
+        g = (a & b).forall(["b"])
+        assert g.is_false
+
+    def test_restrict(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = (a & b).restrict({"a": 1})
+        assert f.node == b.node
+        assert (a & b).restrict({"a": 0}).is_false
+
+    def test_compose(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = a & b
+        g = f.compose("b", c | a)
+        assert g.equiv(a & (c | a))
+
+
+class TestAnalysis:
+    def test_probability_uniform(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert (a & b).probability({}) == pytest.approx(0.25)
+        assert (a | b).probability({}) == pytest.approx(0.75)
+        assert (a ^ b).probability({}) == pytest.approx(0.5)
+
+    def test_probability_biased(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        p = (a & b).probability({"a": 0.9, "b": 0.1})
+        assert p == pytest.approx(0.09)
+
+    def test_sat_count(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert (a & b).sat_count() == pytest.approx(2.0)  # 3 vars total
+        assert (a | b).sat_count(2) == pytest.approx(3.0)
+
+    def test_support(self, mgr):
+        a, c = mgr.var("a"), mgr.var("c")
+        assert (a & c).support() == ["a", "c"]
+        assert mgr.true.support() == []
+
+    def test_num_nodes_grows(self, mgr):
+        before = mgr.num_nodes()
+        f = mgr.var("a") ^ mgr.var("b") ^ mgr.var("c")
+        assert mgr.num_nodes() > before
+
+
+class TestCircuitBdds:
+    def test_adder_bdds(self):
+        from repro.bdd.circuit import network_bdds
+        from repro.logic.generators import ripple_carry_adder
+
+        net = ripple_carry_adder(3)
+        funcs = network_bdds(net)
+        for a in range(8):
+            for b in range(8):
+                assign = {f"a{i}": (a >> i) & 1 for i in range(3)}
+                assign.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+                assign["cin"] = 0
+                s = sum(funcs[f"s{i}"].evaluate(assign) << i
+                        for i in range(3))
+                s += funcs["c3"].evaluate(assign) << 3
+                assert s == a + b
+
+    def test_bdd_to_cover_roundtrip(self):
+        from repro.bdd.circuit import bdd_to_cover
+
+        mgr = BDD(["x", "y", "z"])
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        f = (x & y) | (~x & z)
+        cover = bdd_to_cover(f, ["x", "y", "z"])
+        for m in range(8):
+            assign = {"x": m & 1, "y": (m >> 1) & 1, "z": (m >> 2) & 1}
+            assert cover.evaluate(m) == f.evaluate(assign)

@@ -1,0 +1,96 @@
+"""Unit tests for BLIF I/O."""
+
+import pytest
+
+from repro.logic.blif import BlifError, read_blif, write_blif
+from repro.logic.generators import ripple_carry_adder
+from repro.sim.functional import verify_equivalence
+
+SIMPLE = """
+.model test
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.end
+"""
+
+
+class TestRead:
+    def test_simple(self):
+        net = read_blif(SIMPLE)
+        assert net.name == "test"
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["f"]
+        # f = ab + c
+        assert net.evaluate({"a": 1, "b": 1, "c": 0})["f"] == 1
+        assert net.evaluate({"a": 0, "b": 1, "c": 0})["f"] == 0
+        assert net.evaluate({"a": 0, "b": 0, "c": 1})["f"] == 1
+
+    def test_latch(self):
+        text = """
+.model seq
+.inputs d
+.outputs q
+.latch d q 1
+.end
+"""
+        net = read_blif(text)
+        assert len(net.latches) == 1
+        assert net.latches[0].init == 1
+
+    def test_constants(self):
+        text = """
+.model c
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+        net = read_blif(text)
+        vals = net.evaluate({})
+        assert vals["one"] == 1 and vals["zero"] == 0
+
+    def test_comments_and_continuations(self):
+        text = (".model x # comment\n.inputs a \\\nb\n.outputs f\n"
+                ".names a b f\n11 1\n.end\n")
+        net = read_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_bad_construct(self):
+        with pytest.raises(BlifError):
+            read_blif(".model x\n.gate nand2 a=1 b=2 o=3\n")
+
+    def test_off_set_rejected(self):
+        with pytest.raises(BlifError):
+            read_blif(".model x\n.inputs a\n.outputs f\n"
+                      ".names a f\n1 0\n.end\n")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BlifError):
+            read_blif(".model x\n.inputs a b\n.outputs f\n"
+                      ".names a b f\n1 1\n.end\n")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        net = read_blif(SIMPLE)
+        text = write_blif(net)
+        back = read_blif(text)
+        assert verify_equivalence(net, back, 64)
+
+    def test_generator_roundtrip(self):
+        net = ripple_carry_adder(3)
+        back = read_blif(write_blif(net))
+        assert verify_equivalence(net, back, 256)
+
+    def test_latch_roundtrip(self):
+        text = ".model s\n.inputs d\n.outputs q\n.latch d q 1\n.end\n"
+        net = read_blif(text)
+        back = read_blif(write_blif(net))
+        assert back.latches[0].init == 1
+        assert back.latches[0].data == "d"

@@ -1,0 +1,149 @@
+"""Unit tests for repro.logic.cube."""
+
+import pytest
+
+from repro.logic.cube import Cube
+
+
+class TestConstruction:
+    def test_universe_covers_everything(self):
+        c = Cube.universe(3)
+        assert all(c.covers_minterm(m) for m in range(8))
+        assert c.is_universe()
+        assert c.num_literals() == 0
+
+    def test_from_string_roundtrip(self):
+        for text in ["1-0", "---", "111", "000", "-1-"]:
+            assert Cube.from_string(text).to_string() == text
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_from_literals(self):
+        c = Cube.from_literals(4, [(0, 1), (2, 0)])
+        assert c.to_string() == "1-0-"
+        assert c.literal(0) == 1
+        assert c.literal(1) is None
+        assert c.literal(2) == 0
+
+    def test_from_literals_conflict(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, [(0, 1), (0, 0)])
+
+    def test_from_literals_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, [(5, 1)])
+
+    def test_from_minterm(self):
+        c = Cube.from_minterm(3, 0b101)
+        assert c.covers_minterm(0b101)
+        assert not c.covers_minterm(0b100)
+        assert c.num_literals() == 3
+
+    def test_mask_beyond_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, mask=0b100)
+
+
+class TestQueries:
+    def test_covers_minterm(self):
+        c = Cube.from_string("1-0")
+        assert c.covers_minterm(0b001)       # x0=1, x2=0
+        assert c.covers_minterm(0b011)
+        assert not c.covers_minterm(0b101)   # x2=1
+        assert not c.covers_minterm(0b000)   # x0=0
+
+    def test_contains(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_universe_contains_all(self):
+        u = Cube.universe(3)
+        assert u.contains(Cube.from_string("101"))
+
+    def test_distance(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("01-")
+        assert a.distance(b) == 2
+        assert a.distance(a) == 0
+        assert a.distance(Cube.from_string("1--")) == 0
+        assert a.distance(Cube.from_string("11-")) == 1
+
+    def test_count_minterms(self):
+        assert Cube.universe(4).count_minterms() == 16
+        assert Cube.from_string("1-0-").count_minterms() == 4
+        assert Cube.from_string("1111").count_minterms() == 1
+
+    def test_literals_iteration(self):
+        c = Cube.from_string("1-0")
+        assert sorted(c.literals()) == [(0, 1), (2, 0)]
+
+
+class TestAlgebra:
+    def test_intersect(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        c = a.intersect(b)
+        assert c is not None and c.to_string() == "10-"
+
+    def test_intersect_disjoint(self):
+        assert Cube.from_string("1--").intersect(
+            Cube.from_string("0--")) is None
+
+    def test_supercube(self):
+        a = Cube.from_string("110")
+        b = Cube.from_string("100")
+        assert a.supercube(b).to_string() == "1-0"
+
+    def test_supercube_contains_both(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("010")
+        s = a.supercube(b)
+        assert s.contains(a) and s.contains(b)
+
+    def test_consensus(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("0-1")   # distance 1 on var 0
+        c = a.consensus(b)
+        assert c is not None and c.to_string() == "--1"
+
+    def test_consensus_distance_two_is_none(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("00-")
+        assert a.consensus(b) is None
+
+    def test_cofactor_literal(self):
+        c = Cube.from_string("1-0")
+        assert c.cofactor_literal(0, 1).to_string() == "--0"
+        assert c.cofactor_literal(0, 0) is None
+        assert c.cofactor_literal(1, 1).to_string() == "1-0"
+
+    def test_cofactor_cube(self):
+        c = Cube.from_string("1-0")
+        other = Cube.from_string("1---"[:3])
+        cc = c.cofactor_cube(other)
+        assert cc is not None and cc.to_string() == "--0"
+
+    def test_without_var(self):
+        assert Cube.from_string("110").without_var(1).to_string() == "1-0"
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Cube.from_string("1-0")
+        b = Cube.from_literals(3, [(0, 1), (2, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Cube.from_string("1-1")
+
+    def test_value_bits_outside_mask_normalized(self):
+        a = Cube(3, mask=0b001, value=0b111)
+        b = Cube(3, mask=0b001, value=0b001)
+        assert a == b
+
+    def test_repr(self):
+        assert "1-0" in repr(Cube.from_string("1-0"))

@@ -1,0 +1,113 @@
+"""Unit tests for circuit-level optimizations (reorder, sizing)."""
+
+import pytest
+
+from repro.logic.generators import ripple_carry_adder
+from repro.opt.circuit.reorder import (ReorderResult, greedy_order,
+                                       optimize_stack_order)
+from repro.opt.circuit.sizing import (critical_path_delay,
+                                      size_for_power, slacks,
+                                      switched_capacitance)
+from repro.power.activity import activity_from_simulation
+from repro.power.model import PowerParameters
+
+
+class TestReorder:
+    def test_skewed_probabilities_give_savings(self):
+        res = optimize_stack_order([0.95, 0.5, 0.05])
+        assert res.best_energy <= res.baseline_energy
+        assert res.energy_saving >= 0.0
+        assert res.spread <= 1.0
+
+    def test_uniform_probabilities_little_headroom(self):
+        res = optimize_stack_order([0.5, 0.5, 0.5])
+        # All orders are equivalent by symmetry.
+        assert res.energy_saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_high_on_probability_goes_to_ground(self):
+        """The input most often ON belongs at the bottom of the stack."""
+        res = optimize_stack_order([0.9, 0.5, 0.1])
+        # position order[k]: k=0 nearest output... ground is last slot.
+        assert res.best_order[-1] == 0
+
+    def test_greedy_order_heuristic(self):
+        assert greedy_order([0.9, 0.1, 0.5]) == [0, 2, 1]
+
+    def test_delay_constraint_respected(self):
+        arrival = [0.0, 0.0, 10.0]
+        unconstrained = optimize_stack_order([0.9, 0.5, 0.1],
+                                             arrival=arrival)
+        limit = unconstrained.baseline_delay
+        res = optimize_stack_order([0.9, 0.5, 0.1], arrival=arrival,
+                                   delay_limit=limit)
+        assert res.best_delay <= limit
+
+    def test_infeasible_limit_falls_back_to_fastest(self):
+        arrival = [0.0, 0.0, 10.0]
+        res = optimize_stack_order([0.5, 0.5, 0.5], arrival=arrival,
+                                   delay_limit=0.001)
+        assert res.best_order is not None
+
+    def test_wide_stack_uses_heuristics(self):
+        res = optimize_stack_order([0.1 * k for k in range(1, 9)],
+                                   exhaustive_limit=4)
+        assert res.best_energy <= res.baseline_energy
+
+
+class TestSizing:
+    @pytest.fixture
+    def adder(self):
+        net = ripple_carry_adder(6)
+        act, _ = activity_from_simulation(net, 512, seed=0)
+        return net, act
+
+    def test_downsizing_saves_power(self, adder):
+        net, act = adder
+        res = size_for_power(net, act, apply=False)
+        assert res.power_after < res.power_before
+        assert res.power_saving > 0.3
+        assert res.delay_after <= res.delay_target
+
+    def test_apply_writes_attrs(self, adder):
+        net, act = adder
+        size_for_power(net, act, apply=True)
+        sized = [n for n in net.nodes.values()
+                 if n.attrs.get("size") is not None]
+        assert sized
+
+    def test_tight_target_keeps_big_gates(self, adder):
+        net, act = adder
+        params = PowerParameters()
+        sizes_max = {n: 4.0 for n, nd in net.nodes.items()
+                     if not nd.is_source()}
+        fastest = critical_path_delay(net, sizes_max, params)
+        res = size_for_power(net, act, delay_target=fastest,
+                             apply=False)
+        # At the all-max delay, big sizes must largely remain.
+        assert any(s > 1.0 for s in res.sizes.values())
+        assert res.delay_after <= fastest + 1e-9
+
+    def test_loose_target_reaches_min_sizes(self, adder):
+        net, act = adder
+        res = size_for_power(net, act, delay_target=1e9, apply=False)
+        assert all(s == 1.0 for s in res.sizes.values())
+
+    def test_never_worse_than_all_min(self, adder):
+        net, act = adder
+        params = PowerParameters()
+        res = size_for_power(net, act, apply=False)
+        ones = {n: 1.0 for n in res.sizes}
+        if critical_path_delay(net, ones, params) <= res.delay_target:
+            assert res.power_after <= switched_capacitance(
+                net, ones, act, params) + 1e-9
+
+    def test_slacks_nonnegative_at_own_delay(self, adder):
+        net, act = adder
+        params = PowerParameters()
+        sizes = {n: 1.0 for n, nd in net.nodes.items()
+                 if not nd.is_source()}
+        target = critical_path_delay(net, sizes, params)
+        slk = slacks(net, sizes, target, params)
+        assert all(s >= -1e-9 for s in slk.values())
+        assert any(s == pytest.approx(0.0, abs=1e-9)
+                   for s in slk.values())

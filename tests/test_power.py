@@ -1,0 +1,203 @@
+"""Unit tests for repro.power (activity estimation, model, glitch)."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.generators import (comparator, parity_tree,
+                                    ripple_carry_adder)
+from repro.logic.netlist import Network
+from repro.power.activity import (activity_from_probability,
+                                  activity_from_simulation,
+                                  sequential_activity,
+                                  signal_probability_exact,
+                                  signal_probability_propagation,
+                                  transition_density,
+                                  weighted_switching)
+from repro.power.glitch import glitch_report
+from repro.power.model import (PowerParameters, average_power,
+                               node_capacitance, power_report)
+
+
+class TestProbabilities:
+    def test_propagation_on_tree_is_exact(self):
+        """Without reconvergence the independence assumption is exact."""
+        net = parity_tree(4, balanced=True)
+        approx = signal_probability_propagation(net)
+        exact = signal_probability_exact(net)
+        for name in approx:
+            assert approx[name] == pytest.approx(exact[name], abs=1e-9)
+
+    def test_exact_handles_reconvergence(self):
+        # z = a AND a' == 0; propagation (independence) says 0.25.
+        net = Network()
+        net.add_input("a")
+        net.add_gate("na", GateType.NOT, ["a"])
+        net.add_gate("z", GateType.AND, ["a", "na"])
+        net.set_output("z")
+        assert signal_probability_exact(net)["z"] == 0.0
+        assert signal_probability_propagation(net)["z"] == \
+            pytest.approx(0.25)
+
+    def test_comparator_output_probability(self):
+        """P(C > D) = (1 - 2^-n)/2 for uniform n-bit inputs."""
+        net = comparator(4)
+        p = signal_probability_exact(net)[net.outputs[0]]
+        assert p == pytest.approx((1 - 2 ** -4) / 2)
+
+    def test_input_probs_respected(self):
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("g", GateType.AND, ["a", "b"])
+        net.set_output("g")
+        p = signal_probability_propagation(net, {"a": 1.0, "b": 0.25})
+        assert p["g"] == pytest.approx(0.25)
+
+
+class TestActivity:
+    def test_activity_from_probability(self):
+        assert activity_from_probability(0.5) == 0.5
+        assert activity_from_probability(0.0) == 0.0
+        assert activity_from_probability(1.0) == 0.0
+
+    def test_simulation_close_to_analytic(self):
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("g", GateType.AND, ["a", "b"])
+        net.set_output("g")
+        act, prob = activity_from_simulation(net, 8000, seed=1)
+        # P(g)=0.25, activity = 2*0.25*0.75 = 0.375
+        assert prob["g"] == pytest.approx(0.25, abs=0.03)
+        assert act["g"] == pytest.approx(0.375, abs=0.03)
+
+    def test_transition_density_inverter_passthrough(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("n", GateType.NOT, ["a"])
+        net.set_output("n")
+        d = transition_density(net, input_densities={"a": 0.3})
+        assert d["n"] == pytest.approx(0.3)
+
+    def test_transition_density_and_gate(self):
+        """Najm: D(and) = p_b D(a) + p_a D(b)."""
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("g", GateType.AND, ["a", "b"])
+        net.set_output("g")
+        d = transition_density(net, input_probs={"a": 0.5, "b": 0.5})
+        assert d["g"] == pytest.approx(0.5 * 0.5 + 0.5 * 0.5)
+
+    def test_transition_density_xor_sums_input_densities(self):
+        """Every input of an XOR tree is always sensitized, so Najm's
+        density adds input densities — an upper bound on zero-delay
+        activity (it counts glitches from non-coincident arrivals)."""
+        net = parity_tree(6, balanced=True)
+        d = transition_density(net)
+        out = net.outputs[0]
+        assert d[out] == pytest.approx(6 * 0.5)
+        act, _ = activity_from_simulation(net, 4000, seed=4)
+        assert d[out] >= act[out]
+
+    def test_transition_density_bounds_activity_on_and_tree(self):
+        net = Network()
+        net.add_inputs(["a", "b", "c", "d"])
+        net.add_gate("x", GateType.AND, ["a", "b"])
+        net.add_gate("y", GateType.AND, ["c", "d"])
+        net.add_gate("z", GateType.AND, ["x", "y"])
+        net.set_output("z")
+        d = transition_density(net)
+        act, _ = activity_from_simulation(net, 8000, seed=4)
+        # Density treats input transitions as non-coincident, so it
+        # upper-bounds the zero-delay activity but stays within ~3x.
+        assert act["z"] <= d["z"] <= 3.0 * act["z"]
+
+    def test_sequential_activity_counts_held_registers(self):
+        net = Network()
+        net.add_inputs(["d", "en"])
+        net.add_latch("d", "q", enable="en")
+        net.add_gate("o", GateType.BUF, ["q"])
+        net.set_output("o")
+        seq = [{"d": k & 1, "en": 0} for k in range(20)]
+        act = sequential_activity(net, seq)
+        assert act["q"] == 0.0
+
+
+class TestPowerModel:
+    def test_capacitance_components(self):
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("g", GateType.AND, ["a", "b"])
+        net.add_gate("h", GateType.NOT, ["g"])
+        net.set_output("h")
+        params = PowerParameters()
+        cap_g = node_capacitance(net, "g", params)
+        # self (6 transistors * 0.5) + NOT pin (2.0)
+        assert cap_g == pytest.approx(3.0 + 2.0)
+        cap_h = node_capacitance(net, "h", params)
+        # self (2 * 0.5) + PO load (4.0)
+        assert cap_h == pytest.approx(1.0 + 4.0)
+
+    def test_size_scales_capacitance(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("g", GateType.NOT, ["a"])
+        net.set_output("g")
+        base = node_capacitance(net, "g")
+        net.nodes["g"].attrs["size"] = 2.0
+        assert node_capacitance(net, "g") == pytest.approx(
+            base + 1.0)   # self cap doubles (1.0 -> 2.0)
+
+    def test_report_totals(self):
+        net = ripple_carry_adder(4)
+        rep = average_power(net, 512)
+        assert rep.total == pytest.approx(
+            rep.switching + rep.short_circuit + rep.leakage)
+        assert rep.total > 0
+        assert "total power" in rep.summary()
+
+    def test_switching_dominates(self):
+        """Claim C1: switching activity >90% of total power."""
+        net = ripple_carry_adder(8)
+        rep = average_power(net, 1024)
+        assert rep.switching_fraction > 0.85
+
+    def test_voltage_scaling_quadratic(self):
+        net = ripple_carry_adder(4)
+        act, _ = activity_from_simulation(net, 512)
+        p33 = power_report(net, act, PowerParameters(vdd=3.3))
+        p165 = power_report(net, act, PowerParameters(vdd=1.65))
+        assert p165.switching == pytest.approx(p33.switching / 4)
+
+    def test_zero_activity_zero_dynamic(self):
+        net = ripple_carry_adder(2)
+        rep = power_report(net, {})
+        assert rep.switching == 0.0
+        assert rep.leakage > 0.0
+
+    def test_weighted_switching(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("g", GateType.NOT, ["a"])
+        net.set_output("g")
+        w = weighted_switching(net, {"g": 0.5, "a": 0.0})
+        assert w == pytest.approx(0.5 * node_capacitance(net, "g"))
+
+
+class TestGlitch:
+    def test_glitch_fraction_in_paper_band(self):
+        """Claim C2: spurious transitions are 10-40% of activity in
+        typical (unbalanced, reconvergent) logic."""
+        from repro.logic.generators import array_multiplier
+
+        rep = glitch_report(array_multiplier(4), num_vectors=128, seed=1)
+        assert 0.05 < rep.glitch_power_fraction < 0.5
+
+    def test_balanced_tree_has_no_glitches(self):
+        rep = glitch_report(parity_tree(8, balanced=True),
+                            num_vectors=64, seed=0)
+        assert rep.glitch_fraction == pytest.approx(0.0)
+
+    def test_per_node_glitches_nonnegative(self):
+        rep = glitch_report(parity_tree(6, balanced=False),
+                            num_vectors=64, seed=0)
+        assert all(v >= 0 for v in rep.per_node_glitches().values())
+        assert rep.total_timed >= rep.total_functional

@@ -1,0 +1,91 @@
+"""Tests for probability-ordered technology decomposition ([48])."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.generators import decoder, random_logic
+from repro.logic.netlist import Network
+from repro.logic.transform import decompose_to_primitives
+from repro.power.activity import activity_from_simulation
+from repro.power.model import node_capacitance
+from repro.sim.functional import verify_equivalence_exact
+
+
+def wide_gate_net():
+    net = Network("wide")
+    names = [f"x{i}" for i in range(6)]
+    net.add_inputs(names)
+    net.add_gate("f", GateType.AND, names)
+    net.add_gate("g", GateType.OR, names)
+    net.set_outputs(["f", "g"])
+    probs = {"x0": 0.02, "x1": 0.95, "x2": 0.5, "x3": 0.9,
+             "x4": 0.1, "x5": 0.6}
+    return net, probs
+
+
+def switched_cap(net, probs, seed=3):
+    act, _ = activity_from_simulation(net, 4096, seed,
+                                      input_probs=probs)
+    return sum(act.get(n, 0.0) * node_capacitance(net, n)
+               for n in net.nodes)
+
+
+class TestPowerDecomposition:
+    def test_function_preserved(self):
+        net, probs = wide_gate_net()
+        pwr = decompose_to_primitives(net, input_probs=probs,
+                                      decomposition="power")
+        assert verify_equivalence_exact(net, pwr)
+
+    def test_beats_balanced_on_skewed_inputs(self):
+        net, probs = wide_gate_net()
+        bal = decompose_to_primitives(net)
+        pwr = decompose_to_primitives(net, input_probs=probs,
+                                      decomposition="power")
+        assert switched_cap(pwr, probs) < 0.8 * switched_cap(bal, probs)
+
+    def test_chain_is_deeper_than_tree(self):
+        """The power chains trade depth for activity — the documented
+        cost of [48]-style decomposition."""
+        net, probs = wide_gate_net()
+        bal = decompose_to_primitives(net)
+        pwr = decompose_to_primitives(net, input_probs=probs,
+                                      decomposition="power")
+        assert pwr.depth() >= bal.depth()
+
+    def test_and_chain_order(self):
+        """The most-likely-0 input must enter the AND chain first."""
+        net = Network()
+        net.add_inputs(["a", "b", "c"])
+        net.add_gate("f", GateType.AND, ["a", "b", "c"])
+        net.set_output("f")
+        probs = {"a": 0.9, "b": 0.05, "c": 0.5}
+        pwr = decompose_to_primitives(net, input_probs=probs,
+                                      decomposition="power")
+        # First AND gate in topo order must read 'b' (p=0.05).
+        first_and = next(n for n in pwr.topo_order()
+                         if pwr.nodes[n].kind == "gate" and
+                         pwr.nodes[n].gtype is GateType.AND)
+        assert "b" in pwr.nodes[first_and].fanins
+
+    def test_bad_mode_rejected(self):
+        net, _ = wide_gate_net()
+        with pytest.raises(ValueError):
+            decompose_to_primitives(net, decomposition="fast")
+
+    def test_random_networks_preserved(self):
+        for seed in (3, 9):
+            net = random_logic(6, 16, seed=seed)
+            pwr = decompose_to_primitives(net, decomposition="power")
+            assert verify_equivalence_exact(net, pwr)
+
+    def test_mapping_with_power_decomposition(self):
+        from repro.library.cells import generic_library
+        from repro.opt.logic.mapping import tech_map
+
+        net = decoder(3)
+        probs = {f"s{i}": 0.1 for i in range(3)}
+        probs["en"] = 0.95
+        res = tech_map(net, generic_library(), "power",
+                       decomposition="power", input_probs=probs)
+        assert verify_equivalence_exact(net, res.mapped)

@@ -1,0 +1,128 @@
+"""Property-based tests over random DFGs and random programs."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dfg import DFG, OP_DELAY
+from repro.arch.scheduling import (alap_schedule, asap_schedule,
+                                   force_directed_schedule,
+                                   list_schedule, required_units,
+                                   schedule_length)
+from repro.sw.cpu import CPU, dsp_profile
+from repro.sw.isa import Instruction, Program
+from repro.sw.schedule import cold_schedule, control_path_switching
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def random_dfgs(draw, max_ops=12):
+    seed = draw(st.integers(0, 10 ** 6))
+    num_ops = draw(st.integers(1, max_ops))
+    rng = random.Random(seed)
+    dfg = DFG(f"h{seed}")
+    pool = [dfg.add(f"i{k}", "input") for k in range(3)]
+    for k in range(num_ops):
+        op = rng.choice(["add", "sub", "mul"])
+        a, b = rng.choice(pool), rng.choice(pool)
+        pool.append(dfg.add(f"n{k}", op, [a, b]))
+    dfg.add("y", "output", [pool[-1]])
+    return dfg
+
+
+def check_dependencies(dfg, sched):
+    for op in dfg.compute_ops():
+        for src in op.operands:
+            s = dfg.ops[src]
+            d = OP_DELAY.get(s.op, 1)
+            assert sched[op.name] >= sched[src] + d, (op.name, src)
+
+
+@given(random_dfgs())
+@SETTINGS
+def test_asap_is_lower_bound(dfg):
+    asap = asap_schedule(dfg)
+    check_dependencies(dfg, asap)
+    assert schedule_length(dfg, asap) == dfg.critical_path()
+
+
+@given(random_dfgs())
+@SETTINGS
+def test_alap_dominates_asap(dfg):
+    latency = dfg.critical_path() + 3
+    asap = asap_schedule(dfg)
+    alap = alap_schedule(dfg, latency)
+    check_dependencies(dfg, alap)
+    for name in asap:
+        assert alap[name] >= asap[name]
+
+
+@given(random_dfgs(), st.integers(1, 2), st.integers(1, 2))
+@SETTINGS
+def test_list_schedule_respects_resources(dfg, n_add, n_mul):
+    res = {"add": n_add, "sub": n_add, "mul": n_mul}
+    sched = list_schedule(dfg, res)
+    check_dependencies(dfg, sched)
+    units = required_units(dfg, sched)
+    for op, limit in res.items():
+        assert units.get(op, 0) <= limit
+
+
+@given(random_dfgs())
+@SETTINGS
+def test_fds_legal_and_within_latency(dfg):
+    latency = dfg.critical_path() + 2
+    sched = force_directed_schedule(dfg, latency)
+    check_dependencies(dfg, sched)
+    assert schedule_length(dfg, sched) <= latency
+
+
+@st.composite
+def straight_line_programs(draw, max_len=14):
+    seed = draw(st.integers(0, 10 ** 6))
+    length = draw(st.integers(2, max_len))
+    rng = random.Random(seed)
+    prog = Program(name=f"h{seed}")
+    prog.append(Instruction("li", dst="r1", imm=3))
+    prog.append(Instruction("li", dst="r2", imm=5))
+    regs = ["r1", "r2", "r3", "r4", "r5"]
+    for k in range(length):
+        op = rng.choice(["add", "sub", "xor", "and", "or", "mul",
+                         "ld", "st", "shl"])
+        dst = rng.choice(regs)
+        a, b = rng.choice(regs), rng.choice(regs)
+        if op == "ld":
+            prog.append(Instruction("ld", dst=dst, src1=a, imm=k))
+        elif op == "st":
+            prog.append(Instruction("st", dst=a, src1=b, imm=k))
+        elif op == "shl":
+            prog.append(Instruction("shl", dst=dst, src1=a, imm=1))
+        else:
+            prog.append(Instruction(op, dst=dst, src1=a, src2=b))
+    prog.append(Instruction("halt"))
+    return prog
+
+
+@given(straight_line_programs())
+@SETTINGS
+def test_cold_scheduling_preserves_semantics(prog):
+    cpu = CPU(dsp_profile())
+    cold = cold_schedule(prog)
+    a = cpu.run(prog, memory={k: k for k in range(40)})
+    b = cpu.run(cold, memory={k: k for k in range(40)})
+    assert a.registers == b.registers
+    assert a.memory == b.memory
+    assert a.instructions == b.instructions
+
+
+@given(straight_line_programs())
+@SETTINGS
+def test_cold_scheduling_rarely_increases_switching(prog):
+    """Greedy scheduling gives no guarantee, but on straight-line code
+    it should stay within a few bit-flips of the original order."""
+    cpu = CPU(dsp_profile())
+    orig = cpu.run(prog, memory={k: k for k in range(40)})
+    cold = cpu.run(cold_schedule(prog), memory={k: k for k in range(40)})
+    assert control_path_switching(cold.opcode_trace) <= \
+        control_path_switching(orig.opcode_trace) + 4

@@ -1,0 +1,138 @@
+"""Unit tests for retiming."""
+
+import random
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network
+from repro.opt.seq.retime import (HOST_SINK, HOST_SRC, RetimingGraph,
+                                  apply_retiming, low_power_retiming,
+                                  min_period_retiming)
+from repro.sim.functional import sequential_transitions
+
+
+def chain_then_register():
+    """4-gate chain with two registers at the end: min period should
+    drop from 4 to ~2 by spreading the registers."""
+    net = Network("pipe")
+    net.add_inputs(["a", "b", "c", "d"])
+    net.add_gate("g1", GateType.XOR, ["a", "b"])
+    net.add_gate("g2", GateType.XOR, ["g1", "c"])
+    net.add_gate("g3", GateType.AND, ["g2", "d"])
+    net.add_gate("g4", GateType.OR, ["g3", "a"])
+    net.add_latch("g4", "q1")
+    net.add_latch("q1", "q2")
+    net.add_gate("o", GateType.BUF, ["q2"])
+    net.set_output("o")
+    return net
+
+
+def run_streams(net, vecs):
+    _, trace = sequential_transitions(net, vecs)
+    return [t[net.outputs[0]] for t in trace]
+
+
+class TestGraph:
+    def test_edges_weights(self):
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        w = {(e.tail, e.head): e.weight for e in graph.edges}
+        assert w[("g1", "g2")] == 0
+        assert w[("g4", "o")] == 2       # two latches traversed
+        assert w[("o", HOST_SINK)] == 0
+
+    def test_clock_period(self):
+        graph = RetimingGraph(chain_then_register())
+        assert graph.clock_period() == 4.0
+
+    def test_no_path_through_host(self):
+        """Splitting the host prevents fake PO->PI combinational paths."""
+        graph = RetimingGraph(chain_then_register())
+        srcs = {e.tail for e in graph.edges}
+        assert HOST_SINK not in srcs
+
+    def test_enable_latch_rejected(self):
+        net = Network()
+        net.add_inputs(["d", "en"])
+        net.add_latch("d", "q", enable="en")
+        net.add_gate("o", GateType.BUF, ["q"])
+        net.set_output("o")
+        with pytest.raises(ValueError):
+            RetimingGraph(net)
+
+
+class TestMinPeriod:
+    def test_period_improves(self):
+        graph = RetimingGraph(chain_then_register())
+        period, r = min_period_retiming(graph)
+        assert period < graph.clock_period()
+        assert period == 2.0
+
+    def test_retimed_network_equivalent(self):
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        _, r = min_period_retiming(graph)
+        net2 = apply_retiming(net, r)
+        rng = random.Random(1)
+        vecs = [{n: rng.getrandbits(1) for n in "abcd"}
+                for _ in range(80)]
+        s1 = run_streams(net, vecs)
+        s2 = run_streams(net2, vecs)
+        assert s1[6:] == s2[6:]          # identical after transient
+
+    def test_io_latency_preserved(self):
+        """HOST src/sink pinning keeps total path register count."""
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        _, r = min_period_retiming(graph)
+        assert r[HOST_SRC] == 0 and r[HOST_SINK] == 0
+
+    def test_identity_retiming_roundtrip(self):
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        r0 = {v: 0 for v in graph.vertices}
+        net2 = apply_retiming(net, r0)
+        rng = random.Random(2)
+        vecs = [{n: rng.getrandbits(1) for n in "abcd"}
+                for _ in range(40)]
+        assert run_streams(net, vecs) == run_streams(net2, vecs)
+
+
+class TestLowPower:
+    def test_respects_period(self):
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        period, _ = min_period_retiming(graph)
+        act = {"g1": 0.9, "g2": 0.8, "g3": 0.1, "g4": 0.1}
+        r = low_power_retiming(graph, period, act)
+        assert graph.clock_period(r) <= period
+
+    def test_prefers_low_activity_edges(self):
+        """At a relaxed period the registers should sit on the
+        low-activity signals."""
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        act = {"g1": 0.95, "g2": 0.95, "g3": 0.02, "g4": 0.02,
+               "o": 0.02}
+        r = low_power_retiming(graph, 4.0, act)
+        cost = graph.register_cost(r, act)
+        r0 = graph.feasible_retiming(4.0)
+        assert cost <= graph.register_cost(r0, act) + 1e-9
+
+    def test_infeasible_period_raises(self):
+        graph = RetimingGraph(chain_then_register())
+        with pytest.raises(ValueError):
+            low_power_retiming(graph, 0.5, {})
+
+    def test_functional_after_low_power_retiming(self):
+        net = chain_then_register()
+        graph = RetimingGraph(net)
+        period, _ = min_period_retiming(graph)
+        act = {"g1": 0.9, "g2": 0.8, "g3": 0.1, "g4": 0.1}
+        r = low_power_retiming(graph, period, act)
+        net2 = apply_retiming(net, r)
+        rng = random.Random(3)
+        vecs = [{n: rng.getrandbits(1) for n in "abcd"}
+                for _ in range(80)]
+        assert run_streams(net, vecs)[6:] == run_streams(net2, vecs)[6:]

@@ -1,0 +1,202 @@
+"""Tests for the RTL back end (DFG -> gate-level datapath)."""
+
+import random
+
+import pytest
+
+from repro.arch.allocation import bind_operations
+from repro.arch.dfg import DFG, chained_sum_dfg, fir_dfg
+from repro.arch.rtl import (RTLResult, run_iteration,
+                            synthesize_datapath)
+from repro.arch.scheduling import list_schedule
+from repro.logic.transform import instantiate
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network
+
+
+def synth(dfg, resources, width=4, strategy="naive"):
+    sched = list_schedule(dfg, resources)
+    binding = bind_operations(dfg, sched, strategy).binding
+    return synthesize_datapath(dfg, sched, binding, width=width)
+
+
+def check_bit_exact(dfg, rtl, trials=25, seed=0):
+    rng = random.Random(seed)
+    mask = (1 << rtl.width) - 1
+    for _ in range(trials):
+        ints = {n: rng.randrange(1 << rtl.width) for n in dfg.inputs()}
+        got = run_iteration(rtl, ints)
+        ref = dfg.evaluate({k: float(v) for k, v in ints.items()})
+        for out in dfg.outputs:
+            assert got[out] == int(round(ref[out])) & mask
+
+
+class TestInstantiate:
+    def test_port_map_required(self):
+        from repro.logic.generators import ripple_carry_adder
+
+        target = Network()
+        target.add_input("p")
+        with pytest.raises(ValueError):
+            instantiate(target, ripple_carry_adder(2), "u_", {"a0": "p"})
+
+    def test_sequential_module_rejected(self):
+        target = Network()
+        seq = Network()
+        seq.add_input("d")
+        seq.add_latch("d", "q")
+        seq.set_output("q")
+        with pytest.raises(ValueError):
+            instantiate(target, seq, "u_", {"d": "x"})
+
+    def test_two_instances_coexist(self):
+        from repro.logic.generators import ripple_carry_adder
+
+        target = Network()
+        ins = target.add_inputs([f"i{k}" for k in range(5)])
+        add = ripple_carry_adder(2)
+        port = {"a0": "i0", "a1": "i1", "b0": "i2", "b1": "i3",
+                "cin": "i4"}
+        r1 = instantiate(target, add, "u1_", port)
+        r2 = instantiate(target, add, "u2_", port)
+        target.set_outputs([r1["s0"], r2["s1"]])
+        target.check()
+        assert r1["s0"] != r2["s0"]
+
+
+class TestRtlCorrectness:
+    def test_chained_sum(self):
+        dfg = chained_sum_dfg(5)
+        rtl = synth(dfg, {"add": 1})
+        check_bit_exact(dfg, rtl)
+
+    def test_parallel_adders(self):
+        dfg = chained_sum_dfg(5)
+        rtl = synth(dfg, {"add": 2})
+        check_bit_exact(dfg, rtl)
+
+    def test_fir_with_multipliers(self):
+        dfg = fir_dfg(3)
+        rtl = synth(dfg, {"add": 1, "mul": 1})
+        check_bit_exact(dfg, rtl)
+
+    def test_fir_two_units(self):
+        dfg = fir_dfg(4)
+        rtl = synth(dfg, {"add": 2, "mul": 2})
+        check_bit_exact(dfg, rtl)
+
+    def test_subtraction(self):
+        dfg = DFG()
+        a = dfg.add("a", "input")
+        b = dfg.add("b", "input")
+        c = dfg.add("c", "input")
+        s1 = dfg.add("s1", "sub", [a, b])
+        s2 = dfg.add("s2", "add", [s1, c])
+        dfg.add("y", "output", [s2])
+        rtl = synth(dfg, {"add": 1, "sub": 1})
+        check_bit_exact(dfg, rtl)
+
+    def test_wider_datapath(self):
+        dfg = chained_sum_dfg(4)
+        rtl = synth(dfg, {"add": 1}, width=8)
+        check_bit_exact(dfg, rtl, trials=15)
+
+    def test_unsupported_op_rejected(self):
+        dfg = DFG()
+        a = dfg.add("a", "input")
+        b = dfg.add("b", "input")
+        dfg.add("c", "cmp", [a, b])
+        dfg.add("y", "output", ["c"])
+        sched = list_schedule(dfg, {})
+        with pytest.raises(ValueError):
+            synthesize_datapath(dfg, sched, {"c": ("cmp", 0)})
+
+
+class TestRtlStructure:
+    def test_register_sharing(self):
+        """A serial chain on one adder reuses a single register."""
+        dfg = chained_sum_dfg(6)
+        rtl = synth(dfg, {"add": 1})
+        assert rtl.num_registers <= 2
+
+    def test_parallel_values_need_registers(self):
+        dfg = fir_dfg(4)
+        rtl = synth(dfg, {"add": 2, "mul": 4})
+        assert rtl.num_registers >= 2
+
+    def test_latency_matches_schedule(self):
+        from repro.arch.scheduling import schedule_length
+
+        dfg = fir_dfg(3)
+        sched = list_schedule(dfg, {"add": 1, "mul": 1})
+        binding = bind_operations(dfg, sched, "naive").binding
+        rtl = synthesize_datapath(dfg, sched, binding)
+        assert rtl.latency == schedule_length(dfg, sched)
+
+    def test_iterations_are_repeatable(self):
+        """The control counter wraps: a second iteration with new
+        inputs gives the right answer."""
+        dfg = chained_sum_dfg(4)
+        rtl = synth(dfg, {"add": 1})
+        net = rtl.network
+        state = net.initial_state()
+        rng = random.Random(3)
+        for _round in range(3):
+            ints = {n: rng.randrange(16) for n in dfg.inputs()}
+            vec = {}
+            for pi in net.inputs:
+                base, bit = pi.rsplit("_", 1)
+                vec[pi] = (ints[base] >> int(bit)) & 1
+            for _ in range(rtl.latency):
+                state, _v = net.step_words(state, vec, 1)
+            got = sum((state[b] & 1) << i for i, b in
+                      enumerate(rtl.output_bits("y")))
+            ref = dfg.evaluate({k: float(v) for k, v in ints.items()})
+            assert got == int(round(ref["y"])) & 15
+
+
+class TestBindingAtGateLevel:
+    def test_worst_vs_low_power_measured(self):
+        """The [33] claim, validated on synthesized hardware: the
+        low-power binding's netlist burns less than the worst one's."""
+        from repro.arch.allocation import profile_operands
+        from repro.power.activity import sequential_activity
+        from repro.power.model import power_report
+
+        dfg = DFG("corr")
+        x = dfg.add("x", "input")
+        y = dfg.add("y", "input")
+        for i, (src, cval) in enumerate([(x, 3), (x, 5), (y, 7),
+                                         (y, 9)]):
+            c = dfg.add(f"c{i}", "const", value=float(cval))
+            dfg.add(f"m{i}", "mul", [src, c])
+        s1 = dfg.add("s1", "add", ["m0", "m1"])
+        s2 = dfg.add("s2", "add", ["m2", "m3"])
+        s3 = dfg.add("s3", "add", ["s1", "s2"])
+        dfg.add("out", "output", [s3])
+        # Pin the schedule so both units have a real pairing choice
+        # (m0/m3 in step 0, m1/m2 in step 2).
+        sched = {name: 0 for name in dfg.ops}
+        sched.update({"m0": 0, "m3": 0, "m1": 2, "m2": 2,
+                      "s1": 4, "s2": 5, "s3": 6, "out": 7})
+        traces = profile_operands(dfg, 64, seed=1)
+        worst = bind_operations(dfg, sched, "worst", traces)
+        lp = bind_operations(dfg, sched, "low-power", traces)
+        assert lp.switched_capacitance < worst.switched_capacitance
+
+        def measure(binding):
+            rtl = synthesize_datapath(dfg, sched, binding, width=4)
+            net = rtl.network
+            rng = random.Random(7)
+            vecs = []
+            for _ in range(120):
+                ints = {n: rng.randrange(16) for n in dfg.inputs()}
+                vec = {}
+                for pi in net.inputs:
+                    base, bit = pi.rsplit("_", 1)
+                    vec[pi] = (ints[base] >> int(bit)) & 1
+                vecs.extend([vec] * rtl.latency)
+            act = sequential_activity(net, vecs)
+            return power_report(net, act).total
+
+        assert measure(lp.binding) < measure(worst.binding)

@@ -1,0 +1,92 @@
+"""Unit tests for the exact sequential power estimator ([28])."""
+
+import random
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network
+from repro.opt.seq.encoding import encode_natural
+from repro.opt.seq.stg import STG, synthesize_fsm
+from repro.power.activity import sequential_activity
+from repro.power.sequential import (exact_sequential_activity,
+                                    exact_sequential_power)
+
+
+def counter_fsm(n_states=4):
+    stg = STG(1, 1)
+    for i in range(n_states):
+        s, nxt = f"s{i}", f"s{(i + 1) % n_states}"
+        out = "1" if i == n_states - 1 else "0"
+        stg.add_transition("1", s, nxt, out)
+        stg.add_transition("0", s, s, out)
+    return synthesize_fsm(stg, encode_natural(stg))
+
+
+class TestExactActivity:
+    def test_matches_long_simulation(self):
+        net = counter_fsm()
+        analysis = exact_sequential_activity(net)
+        rng = random.Random(0)
+        vecs = [{"x0": rng.getrandbits(1)} for _ in range(30000)]
+        sim = sequential_activity(net, vecs)
+        for name in sim:
+            assert analysis.activities[name] == \
+                pytest.approx(sim[name], abs=0.02), name
+
+    def test_biased_inputs(self):
+        net = counter_fsm()
+        analysis = exact_sequential_activity(net, {"x0": 0.9})
+        rng = random.Random(1)
+        vecs = [{"x0": int(rng.random() < 0.9)} for _ in range(30000)]
+        sim = sequential_activity(net, vecs)
+        for name in sim:
+            assert analysis.activities[name] == \
+                pytest.approx(sim[name], abs=0.02), name
+
+    def test_reachable_states_only(self):
+        """A 4-state one-hot machine reaches 4 of 16 codes."""
+        stg = STG(1, 1)
+        for i in range(4):
+            stg.add_transition("1", f"s{i}", f"s{(i + 1) % 4}", "0")
+            stg.add_transition("0", f"s{i}", f"s{i}", "0")
+        net = synthesize_fsm(stg, {f"s{i}": 1 << i for i in range(4)})
+        analysis = exact_sequential_activity(net)
+        assert analysis.num_states == 4
+
+    def test_stationary_distribution_sums_to_one(self):
+        analysis = exact_sequential_activity(counter_fsm())
+        assert sum(analysis.stationary) == pytest.approx(1.0)
+
+    def test_frozen_input_freezes_machine(self):
+        """With P(advance)=0 the counter never moves: zero activity at
+        the state bits."""
+        net = counter_fsm()
+        analysis = exact_sequential_activity(net, {"x0": 0.0})
+        for latch in net.latches:
+            assert analysis.activities[latch.output] == \
+                pytest.approx(0.0)
+
+    def test_state_explosion_guard(self):
+        net = Network()
+        net.add_input("d")
+        prev = "d"
+        for k in range(14):
+            net.add_latch(prev, f"q{k}")
+            prev = f"q{k}"
+        net.set_output(prev)
+        with pytest.raises(RuntimeError):
+            exact_sequential_activity(net, max_states=100)
+
+    def test_gated_latch_supported(self):
+        net = Network()
+        net.add_inputs(["d", "en"])
+        net.add_latch("d", "q", enable="en")
+        net.add_gate("o", GateType.BUF, ["q"])
+        net.set_output("o")
+        analysis = exact_sequential_activity(net, {"en": 0.0, "d": 0.5})
+        assert analysis.activities["q"] == pytest.approx(0.0)
+
+    def test_power_wrapper(self):
+        rep = exact_sequential_power(counter_fsm())
+        assert rep.total > 0
