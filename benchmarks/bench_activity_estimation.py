@@ -8,13 +8,16 @@ BDD-exact probabilities and Monte-Carlo simulation on accuracy
 import math
 import time
 
+from repro.bench.profiling import PHASE_EST, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.logic.generators import comparator, random_logic
 from repro.power.activity import (activity_from_simulation,
                                   signal_probability_exact,
                                   signal_probability_propagation)
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ()
 
 CIRCUITS = [
     ("cmp6", lambda: comparator(6)),
@@ -22,18 +25,22 @@ CIRCUITS = [
 ]
 
 
-def estimation_rows():
+def estimation_rows(vectors=2048, seed=1):
     rows = []
     for name, make in CIRCUITS:
         net = make()
         t0 = time.perf_counter()
-        exact = signal_probability_exact(net)
+        with phase(PHASE_EST):
+            exact = signal_probability_exact(net)
         t_exact = time.perf_counter() - t0
         t0 = time.perf_counter()
-        prop = signal_probability_propagation(net)
+        with phase(PHASE_EST):
+            prop = signal_probability_propagation(net)
         t_prop = time.perf_counter() - t0
         t0 = time.perf_counter()
-        _act, sim = activity_from_simulation(net, 2048, seed=1)
+        with phase(PHASE_SIM):
+            _act, sim = activity_from_simulation(net, vectors,
+                                                 seed=seed)
         t_sim = time.perf_counter() - t0
 
         def rms(est):
@@ -43,6 +50,20 @@ def estimation_rows():
         rows.append([name, rms(prop), rms(sim), t_prop * 1e3,
                      t_sim * 1e3, t_exact * 1e3])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(2048, quick)
+    rows = estimation_rows(vectors=vectors, seed=seed + 1)
+    metrics = {}
+    for name, rms_prop, rms_sim, t_prop, t_sim, t_exact in rows:
+        metrics[f"{name}.rms_propagation"] = rms_prop
+        metrics[f"{name}.rms_montecarlo"] = rms_sim
+        metrics[f"{name}.propagation_ms"] = t_prop
+        metrics[f"{name}.simulation_ms"] = t_sim
+        metrics[f"{name}.exact_ms"] = t_exact
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_activity_estimation(benchmark):

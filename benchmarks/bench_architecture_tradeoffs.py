@@ -11,6 +11,7 @@ Three sweeps echoing the paper's "specific design examples" paragraph:
 
 from repro.arch.memory import (MemoryHierarchy, loop_access_trace,
                                memory_energy, tiled_access_trace)
+from repro.bench.profiling import PHASE_EST, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.logic.generators import (carry_lookahead_adder,
                                     carry_select_adder,
@@ -19,16 +20,18 @@ from repro.power.model import average_power
 from repro.sw.cpu import CPU, big_cpu_profile
 from repro.sw.programs import binary_search, linear_search
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ()
 
 
-def adder_rows():
+def adder_rows(vectors=512, seed=3):
     rows = []
     for name, make in [("ripple", ripple_carry_adder),
                        ("lookahead", carry_lookahead_adder),
                        ("carry-select", carry_select_adder)]:
         net = make(8)
-        rep = average_power(net, 512, seed=3)
+        rep = average_power(net, vectors, seed=seed)
         rows.append([name, net.depth(), net.num_transistors(),
                      rep.total * 1e6])
     return rows
@@ -49,10 +52,10 @@ def tiling_rows():
     return rows
 
 
-def search_rows():
+def search_rows(sizes=(16, 64, 256)):
     cpu = CPU(big_cpu_profile())
     rows = []
-    for n in (16, 64, 256):
+    for n in sizes:
         lp, lm, _ = linear_search(n, n - 2)
         bp, bm, _ = binary_search(n, n - 2)
         rl = cpu.run(lp, memory=dict(lm))
@@ -79,6 +82,33 @@ def scheduler_rows():
         rows.append([label, schedule_length(dfg, sched),
                      units.get("mul", 0), units.get("add", 0)])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(512, quick)
+    with phase(PHASE_EST):
+        arows = adder_rows(vectors=vectors, seed=seed + 3)
+    with phase(PHASE_SIM):
+        trows = tiling_rows()
+        srows = search_rows(sizes=(16, 64) if quick
+                            else (16, 64, 256))
+    schrows = scheduler_rows()
+    metrics = {}
+    for name, depth, transistors, power in arows:
+        metrics[f"adder.{name}.depth"] = depth
+        metrics[f"adder.{name}.transistors"] = transistors
+        metrics[f"adder.{name}.power_uW"] = power
+    for key, (_label, misses, _energy) in zip(
+            ("column_major", "row_major", "tiled"), trows):
+        metrics[f"tiling.{key}.misses"] = misses
+    for label, _lc, _le, _bc, _be, ratio in srows:
+        metrics[f"search.{label}.energy_ratio"] = ratio
+    for label, latency, muls, adds in schrows:
+        key = label.replace(" ", "_")
+        metrics[f"sched.{key}.latency"] = latency
+        metrics[f"sched.{key}.multipliers"] = muls
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_architecture_tradeoffs(benchmark):

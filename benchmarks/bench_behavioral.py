@@ -9,13 +9,16 @@ Three sub-experiments:
 
 from repro.arch.allocation import bind_operations, profile_operands
 from repro.arch.dfg import chained_sum_dfg, fir_dfg
-from repro.arch.power_models import default_module_library, pfa_power
-from repro.arch.scheduling import list_schedule, schedule_length
+from repro.arch.power_models import default_module_library
+from repro.arch.scheduling import list_schedule
 from repro.arch.transforms import (transform_and_scale,
                                    tree_height_reduction, unroll)
+from repro.bench.profiling import PHASE_OPT, PHASE_SIM, phase
 from repro.core.report import format_table
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C13",)
 
 
 def voltage_scaling_rows():
@@ -84,7 +87,7 @@ def binding_rows():
             ["low-power", lp.switched_capacitance]]
 
 
-def rtl_validation_rows():
+def rtl_validation_rows(vectors=120):
     """E13e: bind, synthesize to gates, and *measure* — the binding
     cost model validated on actual hardware."""
     import random
@@ -118,7 +121,7 @@ def rtl_validation_rows():
         net = rtl.network
         rng = random.Random(7)
         vecs = []
-        for _ in range(120):
+        for _ in range(vectors):
             ints = {n: rng.randrange(16) for n in dfg.inputs()}
             vec = {}
             for pi in net.inputs:
@@ -130,6 +133,36 @@ def rtl_validation_rows():
         rows.append([strategy, res.switched_capacitance,
                      net.num_gates(), p * 1e6])
     return rows
+
+
+def run(params=None):
+    quick, _seed = bench_params(params)
+    vectors = scaled(120, quick, floor=40)
+    with phase(PHASE_OPT):
+        vrows = voltage_scaling_rows()
+        mrows = module_selection_rows()
+        brows = binding_rows()
+        rrows = register_binding_rows()
+    with phase(PHASE_SIM):
+        hrows = rtl_validation_rows(vectors=vectors)
+    metrics = {}
+    for key, (_label, _cb, _ca, _cap, vdd, ratio) in zip(
+            ("thr_chain8", "thr_fir4", "unroll_fir3"), vrows):
+        metrics[f"scale.{key}.vdd"] = vdd
+        metrics[f"scale.{key}.power_ratio"] = ratio
+    for key, (_label, latency, _mods, power) in zip(
+            ("tight", "relaxed"), mrows):
+        metrics[f"select.{key}.latency"] = latency
+        metrics[f"select.{key}.power_uW"] = power
+    for label, cap in brows:
+        metrics[f"fu_bind.{label}.hamming"] = cap
+    for label, regs, switching in rrows:
+        metrics[f"reg_bind.{label}.registers"] = regs
+        metrics[f"reg_bind.{label}.hamming"] = switching
+    for label, cost, gates, power in hrows:
+        metrics[f"rtl.{label}.model_cost"] = cost
+        metrics[f"rtl.{label}.power_uW"] = power
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_behavioral(benchmark):

@@ -6,28 +6,46 @@ switching activity, reduces power.  Workload: reconvergent random
 networks (rich in CDCs/ODCs).
 """
 
+from repro.bench.profiling import PHASE_OPT, PHASE_VERIFY, phase
 from repro.core.report import format_table
 from repro.logic.generators import random_logic
 from repro.opt.logic.dontcare import dontcare_power_optimization
 from repro.sim.functional import verify_equivalence
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C5",)
 
 SEEDS = [2, 7, 11, 21]
 
 
-def dontcare_sweep():
+def dontcare_sweep(seeds=tuple(SEEDS), vectors=256):
     rows = []
-    for seed in SEEDS:
+    for seed in seeds:
         net = random_logic(7, 22, seed=seed)
         ref = net.copy()
-        res = dontcare_power_optimization(net, num_vectors=256)
-        assert verify_equivalence(ref, net, 512, seed=seed)
+        with phase(PHASE_OPT):
+            res = dontcare_power_optimization(net, num_vectors=vectors)
+        with phase(PHASE_VERIFY):
+            assert verify_equivalence(ref, net, 2 * vectors, seed=seed)
         rows.append([f"rand{seed}", res.nodes_changed,
                      res.switched_cap_before, res.switched_cap_after,
                      res.power_saving, res.literals_before,
                      res.literals_after])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(256, quick, floor=128)
+    seeds = tuple(s + seed for s in (SEEDS[:2] if quick else SEEDS))
+    rows = dontcare_sweep(seeds=seeds, vectors=vectors)
+    metrics = {}
+    for label, changed, _cb, _ca, saving, lits_b, lits_a in rows:
+        metrics[f"{label}.nodes_changed"] = changed
+        metrics[f"{label}.power_saving"] = saving
+        metrics[f"{label}.literals_delta"] = lits_a - lits_b
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_dontcare(benchmark):

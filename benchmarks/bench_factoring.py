@@ -8,6 +8,7 @@ with strongly skewed input statistics.
 
 import random
 
+from repro.bench.profiling import PHASE_OPT, PHASE_VERIFY, phase
 from repro.core.report import format_table
 from repro.logic.cube import Cube
 from repro.logic.netlist import Network
@@ -15,7 +16,9 @@ from repro.logic.sop import Cover
 from repro.opt.logic.kernels import extract_kernels
 from repro.sim.functional import verify_equivalence
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C6",)
 
 
 def make_cover_net(seed: int, num_vars: int = 6, num_cubes: int = 8):
@@ -66,11 +69,11 @@ def make_structured_net(hot_prob=0.5, quiet_prob=0.02):
     return net, probs
 
 
-def factoring_sweep():
+def factoring_sweep(cover_seeds=(1, 3, 5, 8), vectors=128):
     rows = []
     for label, make, probs in (
         [("structured", None, None)] +
-        [(f"cover{seed}", seed, PROBS) for seed in (1, 3, 5, 8)]):
+        [(f"cover{seed}", seed, PROBS) for seed in cover_seeds]):
         if label == "structured":
             net_area, probs = make_structured_net()
             net_power, _ = make_structured_net()
@@ -78,15 +81,34 @@ def factoring_sweep():
             net_area = make_cover_net(make)
             net_power = make_cover_net(make)
         ref = net_area.copy()
-        res_a = extract_kernels(net_area, "area", input_probs=probs)
-        res_p = extract_kernels(net_power, "power", input_probs=probs)
-        assert verify_equivalence(ref, net_area, 128)
-        assert verify_equivalence(ref, net_power, 128)
+        with phase(PHASE_OPT):
+            res_a = extract_kernels(net_area, "area",
+                                    input_probs=probs)
+            res_p = extract_kernels(net_power, "power",
+                                    input_probs=probs)
+        with phase(PHASE_VERIFY):
+            assert verify_equivalence(ref, net_area, vectors)
+            assert verify_equivalence(ref, net_power, vectors)
         rows.append([label,
                      res_a.literals_after, res_p.literals_after,
                      res_a.switched_cap_after,
                      res_p.switched_cap_after])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(128, quick, floor=64)
+    cover_seeds = tuple(s + seed for s in ((1, 3) if quick
+                                           else (1, 3, 5, 8)))
+    rows = factoring_sweep(cover_seeds=cover_seeds, vectors=vectors)
+    metrics = {}
+    for label, lits_a, lits_p, cap_a, cap_p in rows:
+        metrics[f"{label}.lits_area_obj"] = lits_a
+        metrics[f"{label}.lits_power_obj"] = lits_p
+        metrics[f"{label}.cap_area_obj"] = cap_a
+        metrics[f"{label}.cap_power_obj"] = cap_p
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_factoring(benchmark):

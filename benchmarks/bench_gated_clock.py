@@ -9,6 +9,8 @@ total power, gated vs baseline.
 
 import random
 
+from repro.bench.profiling import (PHASE_EST, PHASE_OPT, PHASE_SIM,
+                                   phase)
 from repro.core.report import format_table
 from repro.opt.seq.encoding import encode_natural
 from repro.opt.seq.gated_clock import (clock_power,
@@ -18,7 +20,9 @@ from repro.power.activity import sequential_activity
 from repro.power.model import power_report
 from repro.sim.functional import sequential_transitions
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C11",)
 
 
 def idle_stg():
@@ -33,26 +37,29 @@ def idle_stg():
     return stg
 
 
-def gating_sweep():
+def gating_sweep(cycles=800, seed=0):
     stg = idle_stg()
-    res = self_loop_clock_gating(stg, encode_natural(stg))
+    with phase(PHASE_OPT):
+        res = self_loop_clock_gating(stg, encode_natural(stg))
     rows = []
     for p_move, label in [(0.5, "moderate (p11=0.25)"),
                           (0.25, "idle (p11=0.06)")]:
-        rng = random.Random(int(p_move * 100))
+        rng = random.Random(int(p_move * 100) + seed)
         vecs = []
-        for _ in range(800):
+        for _ in range(cycles):
             x0 = int(rng.random() < p_move)
             x1 = int(rng.random() < p_move)
             vecs.append({"x0": x0, "x1": x1})
-        _, tb = sequential_transitions(res.baseline, vecs)
-        _, tg = sequential_transitions(res.network, vecs)
+        with phase(PHASE_SIM):
+            _, tb = sequential_transitions(res.baseline, vecs)
+            _, tg = sequential_transitions(res.network, vecs)
         assert [t["z0"] for t in tb] == [t["z0"] for t in tg]
         en_rate = sum(t["_fa_n"] for t in tg) / len(tg)
-        pb = power_report(res.baseline,
-                          sequential_activity(res.baseline, vecs))
-        pg = power_report(res.network,
-                          sequential_activity(res.network, vecs))
+        with phase(PHASE_EST):
+            pb = power_report(res.baseline,
+                              sequential_activity(res.baseline, vecs))
+            pg = power_report(res.network,
+                              sequential_activity(res.network, vecs))
         ckb = clock_power(res.baseline, {})
         ckg = clock_power(res.network,
                           {l.output: en_rate
@@ -63,6 +70,18 @@ def gating_sweep():
                      total_b * 1e6, total_g * 1e6,
                      1 - total_g / total_b])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    cycles = scaled(800, quick, floor=200)
+    rows = gating_sweep(cycles=cycles, seed=seed)
+    metrics = {}
+    for key, row in zip(("moderate", "idle"), rows):
+        metrics[f"{key}.enable_rate"] = row[1]
+        metrics[f"{key}.clock_power_gated_uW"] = row[3]
+        metrics[f"{key}.saving"] = row[6]
+    return {"metrics": metrics, "vectors": cycles}
 
 
 def bench_gated_clock(benchmark):

@@ -9,13 +9,16 @@ activity" — is also measured: with full-size buffers the overhead wins;
 with minimum-size delay buffers balancing yields a net saving.
 """
 
+from repro.bench.profiling import PHASE_OPT, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.logic.generators import (array_multiplier, parity_tree,
                                     ripple_carry_adder)
 from repro.opt.logic.balance import balance_paths
 from repro.power.glitch import glitch_report, timed_average_power
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C2",)
 
 CIRCUITS = [
     ("mult4", lambda: array_multiplier(4)),
@@ -24,24 +27,51 @@ CIRCUITS = [
 ]
 
 
-def balance_sweep():
+def balance_sweep(vectors=96, seed=3):
     rows = []
     for name, make in CIRCUITS:
         net = make()
-        g_before = glitch_report(net, num_vectors=96, seed=3)
-        p_before = timed_average_power(net, 96, seed=3).total
-        res = balance_paths(net)                 # min-size buffers
-        g_after = glitch_report(net, num_vectors=96, seed=3)
-        p_after = timed_average_power(net, 96, seed=3).total
+        with phase(PHASE_SIM):
+            g_before = glitch_report(net, num_vectors=vectors,
+                                     seed=seed)
+            p_before = timed_average_power(net, vectors,
+                                           seed=seed).total
+        with phase(PHASE_OPT):
+            res = balance_paths(net)             # min-size buffers
+        with phase(PHASE_SIM):
+            g_after = glitch_report(net, num_vectors=vectors,
+                                    seed=seed)
+            p_after = timed_average_power(net, vectors,
+                                          seed=seed).total
         # The caveat case: same circuit, full-size buffers.
         net_full = make()
-        balance_paths(net_full, buffer_size=1.0)
-        p_full = timed_average_power(net_full, 96, seed=3).total
+        with phase(PHASE_OPT):
+            balance_paths(net_full, buffer_size=1.0)
+        with phase(PHASE_SIM):
+            p_full = timed_average_power(net_full, vectors,
+                                         seed=seed).total
         rows.append([name, g_before.glitch_power_fraction,
                      g_after.glitch_power_fraction, res.buffers_added,
                      res.depth_after - res.depth_before,
                      p_before * 1e6, p_after * 1e6, p_full * 1e6])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(96, quick, floor=48)
+    rows = balance_sweep(vectors=vectors, seed=seed + 3)
+    metrics = {}
+    for (name, g_before, g_after, buffers, depth_delta,
+         p0, p_min, p_full) in rows:
+        metrics[f"{name}.glitch_fraction_before"] = g_before
+        metrics[f"{name}.glitch_fraction_after"] = g_after
+        metrics[f"{name}.buffers"] = buffers
+        metrics[f"{name}.depth_delta"] = depth_delta
+        metrics[f"{name}.power_uW"] = p0
+        metrics[f"{name}.power_minbuf_uW"] = p_min
+        metrics[f"{name}.power_fullbuf_uW"] = p_full
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_path_balance(benchmark):

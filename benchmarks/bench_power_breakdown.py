@@ -5,12 +5,15 @@ accounts for over 90% of total dissipation.  We evaluate Eqn 1 on four
 circuit families at the default mid-90s operating point.
 """
 
+from repro.bench.profiling import PHASE_EST, phase
 from repro.core.report import format_table
 from repro.logic.generators import (alu_slice, array_multiplier,
                                     comparator, ripple_carry_adder)
 from repro.power.model import average_power
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C1",)
 
 CIRCUITS = [
     ("rca16", lambda: ripple_carry_adder(16)),
@@ -20,14 +23,26 @@ CIRCUITS = [
 ]
 
 
-def breakdown_table():
+def breakdown_table(vectors=512, seed=1):
     rows = []
     for name, make in CIRCUITS:
-        rep = average_power(make(), num_vectors=512, seed=1)
+        rep = average_power(make(), num_vectors=vectors, seed=seed)
         rows.append([name, rep.total * 1e6, rep.switching * 1e6,
                      rep.short_circuit * 1e6, rep.leakage * 1e6,
                      rep.switching_fraction])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(512, quick)
+    with phase(PHASE_EST):
+        rows = breakdown_table(vectors=vectors, seed=seed + 1)
+    metrics = {}
+    for name, total, _sw, _sc, _leak, frac in rows:
+        metrics[f"{name}.total_uW"] = total
+        metrics[f"{name}.sw_fraction"] = frac
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_power_breakdown(benchmark):

@@ -9,6 +9,8 @@ deselected cone of a mux with the same unobservability argument.
 
 import random
 
+from repro.bench.profiling import (PHASE_EST, PHASE_SIM, PHASE_SYNTH,
+                                   phase)
 from repro.core.report import format_table
 from repro.logic.gates import GateType
 from repro.logic.netlist import Network
@@ -20,28 +22,35 @@ from repro.power.model import power_report
 from repro.sim.functional import (sequential_transitions,
                                   verify_equivalence)
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C12",)
 
 
-def comparator_rows():
+def comparator_rows(sizes=(4, 8, 16), cycles=400):
     rows = []
-    for n in (4, 8, 16):
-        pre = precomputed_comparator(n)
+    for n in sizes:
+        with phase(PHASE_SYNTH):
+            pre = precomputed_comparator(n)
         rng = random.Random(n)
         vecs = []
-        for _ in range(400):
+        for _ in range(cycles):
             c, d = rng.getrandbits(n), rng.getrandbits(n)
             v = {f"c{i}": (c >> i) & 1 for i in range(n)}
             v.update({f"d{i}": (d >> i) & 1 for i in range(n)})
             vecs.append(v)
-        _, tb = sequential_transitions(pre.baseline, vecs)
-        _, tg = sequential_transitions(pre.network, vecs)
+        with phase(PHASE_SIM):
+            _, tb = sequential_transitions(pre.baseline, vecs)
+            _, tg = sequential_transitions(pre.network, vecs)
         out = pre.baseline.outputs[0]
         assert [t[out] for t in tb][1:] == [t[out] for t in tg][1:]
-        pb = power_report(pre.baseline,
-                          sequential_activity(pre.baseline, vecs)).total
-        pg = power_report(pre.network,
-                          sequential_activity(pre.network, vecs)).total
+        with phase(PHASE_EST):
+            pb = power_report(
+                pre.baseline,
+                sequential_activity(pre.baseline, vecs)).total
+            pg = power_report(
+                pre.network,
+                sequential_activity(pre.network, vecs)).total
         rows.append([f"cmp{n}", pre.disable_probability,
                      pre.le_literals, pb * 1e6, pg * 1e6, 1 - pg / pb])
     return rows
@@ -72,7 +81,7 @@ def _mux_of_cones():
     return net
 
 
-def combinational_rows():
+def combinational_rows(vectors=2048, verify_vectors=256):
     from repro.opt.seq.precompute import combinational_precompute
     from repro.logic.generators import comparator
 
@@ -80,13 +89,16 @@ def combinational_rows():
     for label, probs in [("uniform MSBs", {}),
                          ("sticky MSBs (p=.95/.05)",
                           {"c7": 0.95, "d7": 0.05})]:
-        pre = combinational_precompute(comparator(8), ["c7", "d7"],
-                                       input_probs=probs)
-        assert verify_equivalence(pre.baseline, pre.network, 256)
-        a0, _ = activity_from_simulation(pre.baseline, 2048, seed=2,
-                                         input_probs=probs)
-        a1, _ = activity_from_simulation(pre.network, 2048, seed=2,
-                                         input_probs=probs)
+        with phase(PHASE_SYNTH):
+            pre = combinational_precompute(comparator(8), ["c7", "d7"],
+                                           input_probs=probs)
+        assert verify_equivalence(pre.baseline, pre.network,
+                                  verify_vectors)
+        with phase(PHASE_SIM):
+            a0, _ = activity_from_simulation(pre.baseline, vectors,
+                                             seed=2, input_probs=probs)
+            a1, _ = activity_from_simulation(pre.network, vectors,
+                                             seed=2, input_probs=probs)
         p0 = power_report(pre.baseline, a0).total
         p1 = power_report(pre.network, a1).total
         rows.append([label, pre.disable_probability, p0 * 1e6,
@@ -94,24 +106,50 @@ def combinational_rows():
     return rows
 
 
-def guarded_rows():
+def guarded_rows(vectors=2048, verify_vectors=512):
     rows = []
     for p_sel, label in [(0.5, "toggling select (declined)"),
                          (0.95, "skewed select")]:
         ref = _mux_of_cones()
         net = _mux_of_cones()
         probs = {"s": p_sel}
-        res = guarded_evaluation(net, input_probs=probs)
-        assert verify_equivalence(ref, net, 512)
-        a0, _ = activity_from_simulation(ref, 2048, seed=5,
-                                         input_probs=probs)
-        a1, _ = activity_from_simulation(net, 2048, seed=5,
-                                         input_probs=probs)
+        with phase(PHASE_SYNTH):
+            res = guarded_evaluation(net, input_probs=probs)
+        assert verify_equivalence(ref, net, verify_vectors)
+        with phase(PHASE_SIM):
+            a0, _ = activity_from_simulation(ref, vectors, seed=5,
+                                             input_probs=probs)
+            a1, _ = activity_from_simulation(net, vectors, seed=5,
+                                             input_probs=probs)
         p0 = power_report(ref, a0).total
         p1 = power_report(net, a1).total
         rows.append([label, res.cones_isolated, p0 * 1e6, p1 * 1e6,
                      1 - p1 / p0])
     return rows
+
+
+def run(params=None):
+    quick, _seed = bench_params(params)
+    cycles = scaled(400, quick, floor=100)
+    act_vectors = scaled(2048, quick, floor=256)
+    sizes = (4, 8) if quick else (4, 8, 16)
+    rows = comparator_rows(sizes=sizes, cycles=cycles)
+    crows = combinational_rows(vectors=act_vectors,
+                               verify_vectors=scaled(256, quick,
+                                                     floor=128))
+    grows = guarded_rows(vectors=act_vectors,
+                         verify_vectors=scaled(512, quick, floor=128))
+    metrics = {}
+    for (label, p_dis, _lits, _pb, _pg, saving) in rows:
+        metrics[f"{label}.disable_probability"] = p_dis
+        metrics[f"{label}.saving"] = saving
+    for key, row in zip(("uniform", "sticky"), crows):
+        metrics[f"comb.{key}.disable_probability"] = row[1]
+        metrics[f"comb.{key}.saving"] = row[4]
+    for key, row in zip(("toggling", "skewed"), grows):
+        metrics[f"guard.{key}.cones"] = row[1]
+        metrics[f"guard.{key}.saving"] = row[4]
+    return {"metrics": metrics, "vectors": cycles}
 
 
 def bench_precompute(benchmark):

@@ -12,6 +12,8 @@ the quiet output.
 
 import random
 
+from repro.bench.profiling import (PHASE_EST, PHASE_OPT, PHASE_SIM,
+                                   phase)
 from repro.core.report import format_table
 from repro.logic.gates import GateType
 from repro.logic.netlist import Network
@@ -23,7 +25,9 @@ from repro.power.model import power_report
 from repro.sim.event import timed_sequential_transitions
 from repro.sim.functional import sequential_transitions
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C10",)
 
 
 def glitchy_pipeline(width=4):
@@ -43,18 +47,21 @@ def glitchy_pipeline(width=4):
     return net
 
 
-def retime_experiment():
+def retime_experiment(cycles=800, seed=11):
     net = glitchy_pipeline()
     graph = RetimingGraph(net)
     p0 = graph.clock_period()
-    period, r_min = min_period_retiming(graph)
+    with phase(PHASE_OPT):
+        _period, r_min = min_period_retiming(graph)
 
-    rng = random.Random(11)
+    rng = random.Random(seed)
     vecs = [{f"i{k}": rng.getrandbits(1) for k in range(8)}
-            for _ in range(800)]
-    act = sequential_activity(net, vecs)
+            for _ in range(cycles)]
+    with phase(PHASE_SIM):
+        act = sequential_activity(net, vecs)
     relaxed = p0 + 4.0
-    r_lp = low_power_retiming(graph, relaxed, act)
+    with phase(PHASE_OPT):
+        r_lp = low_power_retiming(graph, relaxed, act)
 
     rows = []
     streams = {}
@@ -62,11 +69,14 @@ def retime_experiment():
                     ("min-period", r_min),
                     ("low-power (relaxed P)", r_lp)]:
         net_r = apply_retiming(net, r)
-        _, trace = sequential_transitions(net_r, vecs)
+        with phase(PHASE_SIM):
+            _, trace = sequential_transitions(net_r, vecs)
         streams[name] = [t[net_r.outputs[0]] for t in trace]
-        act_r = sequential_activity(net_r, vecs)
+        with phase(PHASE_EST):
+            act_r = sequential_activity(net_r, vecs)
         rep = power_report(net_r, act_r)
-        timed = timed_sequential_transitions(net_r, vecs)
+        with phase(PHASE_SIM):
+            timed = timed_sequential_transitions(net_r, vecs)
         cycles = max(1, len(vecs) - 1)
         timed_rep = power_report(
             net_r, {n: t / cycles for n, t in timed.items()})
@@ -77,6 +87,20 @@ def retime_experiment():
     for name in streams:
         assert streams["original"][8:] == streams[name][8:], name
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    cycles = scaled(800, quick, floor=200)
+    rows = retime_experiment(cycles=cycles, seed=seed + 11)
+    metrics = {}
+    for key, row in zip(("original", "min_period", "low_power"), rows):
+        metrics[f"{key}.period"] = row[1]
+        metrics[f"{key}.registers"] = row[2]
+        metrics[f"{key}.reg_cost"] = row[3]
+        metrics[f"{key}.power_uW"] = row[4]
+        metrics[f"{key}.timed_power_uW"] = row[5]
+    return {"metrics": metrics, "vectors": cycles}
 
 
 def bench_retiming(benchmark):

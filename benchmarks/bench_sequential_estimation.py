@@ -9,6 +9,7 @@ simulation.
 
 import random
 
+from repro.bench.profiling import PHASE_EST, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.opt.seq.encoding import encode_natural
 from repro.opt.seq.stg import STG, synthesize_fsm
@@ -17,7 +18,9 @@ from repro.power.activity import (activity_from_simulation,
 from repro.power.model import power_report
 from repro.power.sequential import exact_sequential_activity
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ()
 
 
 def sticky_fsm():
@@ -32,16 +35,19 @@ def sticky_fsm():
     return synthesize_fsm(stg, encode_natural(stg))
 
 
-def estimation_rows():
+def estimation_rows(cycles=30000, comb_vectors=4096, seed=7):
     net = sticky_fsm()
-    exact = exact_sequential_activity(net)
+    with phase(PHASE_EST):
+        exact = exact_sequential_activity(net)
     # Long-simulation reference.
-    rng = random.Random(7)
+    rng = random.Random(seed)
     vecs = [{"x0": rng.getrandbits(1), "x1": rng.getrandbits(1)}
-            for _ in range(30000)]
-    sim = sequential_activity(net, vecs)
+            for _ in range(cycles)]
+    with phase(PHASE_SIM):
+        sim = sequential_activity(net, vecs)
     # Combinational approximation: latch outputs as free 0.5 inputs.
-    comb, _ = activity_from_simulation(net, 4096, seed=1)
+    with phase(PHASE_SIM):
+        comb, _ = activity_from_simulation(net, comb_vectors, seed=1)
 
     p_exact = power_report(net, exact.activities).total
     p_sim = power_report(net, sim).total
@@ -53,6 +59,24 @@ def estimation_rows():
              p_exact * 1e6],
             ["combinational approx", "-", err_comb, p_comb * 1e6],
             ["30k-cycle simulation", "-", 0.0, p_sim * 1e6]]
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    cycles = scaled(30000, quick, floor=4000)
+    comb_vectors = scaled(4096, quick, floor=1024)
+    rows = estimation_rows(cycles=cycles, comb_vectors=comb_vectors,
+                           seed=seed + 7)
+    exact, comb, sim = rows
+    metrics = {
+        "num_states": exact[1],
+        "exact.max_activity_error": exact[2],
+        "comb.max_activity_error": comb[2],
+        "exact.power_uW": exact[3],
+        "comb.power_uW": comb[3],
+        "sim.power_uW": sim[3],
+    }
+    return {"metrics": metrics, "vectors": cycles}
 
 
 def bench_sequential_estimation(benchmark):

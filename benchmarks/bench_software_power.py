@@ -7,6 +7,7 @@ Four sub-experiments on the instruction-level power substrate:
   (d) cold scheduling matters on the DSP, not on the big CPU.
 """
 
+from repro.bench.profiling import PHASE_EST, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.sw.compile import (linear_scan_allocate, peephole_mac,
                               strength_reduce)
@@ -16,7 +17,9 @@ from repro.sw.programs import (dot_product, fir_kernel, mixed_block,
                                scale_by_constant)
 from repro.sw.schedule import cold_schedule, control_path_switching
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C15",)
 
 
 def regalloc_rows():
@@ -67,18 +70,46 @@ def scheduling_rows():
     return rows
 
 
-def model_rows():
+def model_rows(repetitions=80):
     rows = []
     for label, prof in [("dsp", dsp_profile()),
                         ("big cpu", big_cpu_profile())]:
         cpu = CPU(prof)
-        model = fit_instruction_model(cpu, repetitions=80)
-        prog, mem, _ = dot_product(6)
+        with phase(PHASE_EST):
+            model = fit_instruction_model(cpu,
+                                          repetitions=repetitions)
+        prog, _mem, _ = dot_product(6)
         prog = linear_scan_allocate(prog, 8)
         err = model.prediction_error(cpu, prog)
         rows.append([label, model.base["add"], model.base["mul"],
                      model.pair_overhead("add", "ld"), err])
     return rows
+
+
+def run(params=None):
+    quick, _seed = bench_params(params)
+    repetitions = scaled(80, quick, floor=20)
+    mrows = model_rows(repetitions=repetitions)
+    with phase(PHASE_SIM):
+        rrows = regalloc_rows()
+        srows = selection_rows()
+        crows = scheduling_rows()
+    metrics = {}
+    for label, base_add, base_mul, ovh, err in mrows:
+        key = label.replace(" ", "_")
+        metrics[f"model.{key}.base_add_nJ"] = base_add
+        metrics[f"model.{key}.program_error"] = err
+    for label, _instrs, cycles, energy, _mem in rrows:
+        key = label.replace(" ", "_")
+        metrics[f"regalloc.{key}.cycles"] = cycles
+        metrics[f"regalloc.{key}.energy_nJ"] = energy
+    for label, cycles, energy in srows:
+        key = label.replace(" ", "_").replace(":", "")
+        metrics[f"select.{key}.energy_nJ"] = energy
+    for label, _sb, _sa, _eb, _ea, saving in crows:
+        key = label.replace(" ", "_")
+        metrics[f"cold_sched.{key}.saving"] = saving
+    return {"metrics": metrics, "vectors": repetitions}
 
 
 def bench_software_power(benchmark):

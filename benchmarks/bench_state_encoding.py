@@ -8,13 +8,16 @@ at worst break even, versus the natural encoding.
 
 import random
 
+from repro.bench.profiling import PHASE_EST, PHASE_OPT, phase
 from repro.core.report import format_table
 from repro.opt.seq.encoding import (encode_anneal, encode_greedy,
                                     encode_natural, encode_onehot,
-                                    encoding_cost, evaluate_encoding)
+                                    evaluate_encoding)
 from repro.opt.seq.stg import STG
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C8",)
 
 
 def ring_stg(n, hold=0.5):
@@ -39,7 +42,7 @@ def random_stg(n, seed):
     return stg
 
 
-def encoding_sweep():
+def encoding_sweep(iterations=2500, sequence_length=800):
     from repro.opt.seq.fsm_benchmarks import load_benchmark
 
     rows = []
@@ -48,17 +51,35 @@ def encoding_sweep():
                       ("rand12", random_stg(12, 5)),
                       ("vending", load_benchmark("vending")),
                       ("elevator", load_benchmark("elevator"))]:
-        encoders = [("natural", encode_natural(stg)),
-                    ("greedy", encode_greedy(stg)),
-                    ("anneal", encode_anneal(stg, iterations=2500,
-                                             seed=1)),
-                    ("one-hot", encode_onehot(stg))]
+        with phase(PHASE_OPT):
+            encoders = [("natural", encode_natural(stg)),
+                        ("greedy", encode_greedy(stg)),
+                        ("anneal", encode_anneal(stg,
+                                                 iterations=iterations,
+                                                 seed=1)),
+                        ("one-hot", encode_onehot(stg))]
         for ename, enc in encoders:
-            res = evaluate_encoding(stg, enc, sequence_length=800,
-                                    seed=3)
+            with phase(PHASE_EST):
+                res = evaluate_encoding(
+                    stg, enc, sequence_length=sequence_length, seed=3)
             rows.append([name, ename, res.register_cost, res.literals,
                          res.total_power * 1e6])
     return rows
+
+
+def run(params=None):
+    quick, _seed = bench_params(params)
+    iterations = scaled(2500, quick, floor=600)
+    sequence_length = scaled(800, quick, floor=200)
+    rows = encoding_sweep(iterations=iterations,
+                          sequence_length=sequence_length)
+    metrics = {}
+    for fsm, encoder, reg_cost, literals, power in rows:
+        key = f"{fsm}.{encoder.replace('-', '_')}"
+        metrics[f"{key}.reg_cost"] = reg_cost
+        metrics[f"{key}.literals"] = literals
+        metrics[f"{key}.power_uW"] = power
+    return {"metrics": metrics, "vectors": sequence_length}
 
 
 def bench_state_encoding(benchmark):

@@ -5,6 +5,8 @@ power cost function trades area for measurably less power than the
 area-driven mapping of the same subject graph.
 """
 
+from repro.bench.profiling import (PHASE_EST, PHASE_OPT, PHASE_VERIFY,
+                                   phase)
 from repro.core.report import format_table
 from repro.library.cells import generic_library
 from repro.logic.generators import (comparator, equality_checker,
@@ -13,7 +15,9 @@ from repro.opt.logic.mapping import tech_map
 from repro.power.model import average_power
 from repro.sim.functional import verify_equivalence
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C7",)
 
 CIRCUITS = [
     ("rca6", lambda: ripple_carry_adder(6)),
@@ -22,24 +26,31 @@ CIRCUITS = [
 ]
 
 
-def mapping_sweep():
+def mapping_sweep(vectors=512, verify_vectors=128):
     lib = generic_library()
     rows = []
     for name, make in CIRCUITS:
         net = make()
-        res_a = tech_map(net, lib, "area", seed=1)
-        res_p = tech_map(net, lib, "power", seed=1)
-        assert verify_equivalence(net, res_a.mapped, 128)
-        assert verify_equivalence(net, res_p.mapped, 128)
-        p_area = average_power(res_a.mapped, 512, seed=5).total
-        p_power = average_power(res_p.mapped, 512, seed=5).total
+        with phase(PHASE_OPT):
+            res_a = tech_map(net, lib, "area", seed=1)
+            res_p = tech_map(net, lib, "power", seed=1)
+        with phase(PHASE_VERIFY):
+            assert verify_equivalence(net, res_a.mapped,
+                                      verify_vectors)
+            assert verify_equivalence(net, res_p.mapped,
+                                      verify_vectors)
+        with phase(PHASE_EST):
+            p_area = average_power(res_a.mapped, vectors,
+                                   seed=5).total
+            p_power = average_power(res_p.mapped, vectors,
+                                    seed=5).total
         rows.append([name, res_a.total_area, res_p.total_area,
                      p_area * 1e6, p_power * 1e6,
                      1 - p_power / p_area])
     return rows
 
 
-def decomposition_rows():
+def decomposition_rows(vectors=1024):
     """[48] ablation: balanced vs probability-ordered subject graphs
     under skewed input statistics (wide-gate decoder)."""
     from repro.logic.gates import GateType
@@ -64,18 +75,40 @@ def decomposition_rows():
 
     rows = []
     for style in ("balanced", "power"):
-        subject = decompose_to_primitives(net, input_probs=probs,
-                                          decomposition=style)
-        p_subject = average_power(subject, 1024, seed=6,
-                                  input_probs=probs).total
-        res = tech_map(net, lib, "power", decomposition=style,
-                       input_probs=probs, seed=2)
-        assert verify_equivalence_exact(net, res.mapped)
-        p_mapped = average_power(res.mapped, 1024, seed=6,
-                                 input_probs=probs).total
+        with phase(PHASE_OPT):
+            subject = decompose_to_primitives(net, input_probs=probs,
+                                              decomposition=style)
+        with phase(PHASE_EST):
+            p_subject = average_power(subject, vectors, seed=6,
+                                      input_probs=probs).total
+        with phase(PHASE_OPT):
+            res = tech_map(net, lib, "power", decomposition=style,
+                           input_probs=probs, seed=2)
+        with phase(PHASE_VERIFY):
+            assert verify_equivalence_exact(net, res.mapped)
+        with phase(PHASE_EST):
+            p_mapped = average_power(res.mapped, vectors, seed=6,
+                                     input_probs=probs).total
         rows.append([style, p_subject * 1e6, res.total_area,
                      p_mapped * 1e6])
     return rows
+
+
+def run(params=None):
+    quick, _seed = bench_params(params)
+    vectors = scaled(512, quick, floor=128)
+    rows = mapping_sweep(vectors=vectors,
+                         verify_vectors=scaled(128, quick, floor=64))
+    drows = decomposition_rows(vectors=scaled(1024, quick, floor=256))
+    metrics = {}
+    for name, area_a, area_p, p_area, p_power, saving in rows:
+        metrics[f"{name}.area_area_obj"] = area_a
+        metrics[f"{name}.area_power_obj"] = area_p
+        metrics[f"{name}.power_saving"] = saving
+    for style, p_subject, area, p_mapped in drows:
+        metrics[f"decomp.{style}.subject_power_uW"] = p_subject
+        metrics[f"decomp.{style}.mapped_power_uW"] = p_mapped
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_tech_mapping(benchmark):

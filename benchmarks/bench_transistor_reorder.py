@@ -7,10 +7,13 @@ saving of the best order over the worst and over the arbitrary
 (identity) baseline.
 """
 
+from repro.bench.profiling import PHASE_OPT, phase
 from repro.core.report import format_table
 from repro.opt.circuit.reorder import optimize_stack_order
 
 from conftest import emit
+
+CLAIMS = ("C3",)
 
 SWEEPS = [
     ("n3 uniform", [0.5, 0.5, 0.5]),
@@ -24,10 +27,22 @@ SWEEPS = [
 def reorder_sweep():
     rows = []
     for name, probs in SWEEPS:
-        res = optimize_stack_order(probs)
+        with phase(PHASE_OPT):
+            res = optimize_stack_order(probs)
         rows.append([name, res.baseline_energy, res.best_energy,
                      res.energy_saving, res.spread])
     return rows
+
+
+def run(params=None):
+    # Exhaustive over tiny stacks — nothing to scale down.
+    rows = reorder_sweep()
+    metrics = {}
+    for name, _identity, _best, saving, spread in rows:
+        key = name.replace(" ", "_")
+        metrics[f"{key}.saving"] = saving
+        metrics[f"{key}.best_worst_ratio"] = spread
+    return {"metrics": metrics, "vectors": 0}
 
 
 def bench_transistor_reorder(benchmark):

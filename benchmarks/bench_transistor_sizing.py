@@ -6,13 +6,16 @@ power at (nearly) no delay cost.  We size three netlists against their
 all-max-size delay +5%.
 """
 
+from repro.bench.profiling import PHASE_OPT, PHASE_SIM, phase
 from repro.core.report import format_table
 from repro.logic.generators import (array_multiplier, comparator,
                                     ripple_carry_adder)
 from repro.opt.circuit.sizing import size_for_power
 from repro.power.activity import activity_from_simulation
 
-from conftest import emit
+from conftest import bench_params, emit, scaled
+
+CLAIMS = ("C4",)
 
 CIRCUITS = [
     ("rca8", lambda: ripple_carry_adder(8)),
@@ -21,16 +24,31 @@ CIRCUITS = [
 ]
 
 
-def sizing_sweep():
+def sizing_sweep(vectors=512, seed=2):
     rows = []
     for name, make in CIRCUITS:
         net = make()
-        act, _ = activity_from_simulation(net, 512, seed=2)
-        res = size_for_power(net, act, apply=False)
+        with phase(PHASE_SIM):
+            act, _ = activity_from_simulation(net, vectors, seed=seed)
+        with phase(PHASE_OPT):
+            res = size_for_power(net, act, apply=False)
         rows.append([name, res.power_before, res.power_after,
                      res.power_saving, res.delay_before,
                      res.delay_after, res.moves])
     return rows
+
+
+def run(params=None):
+    quick, seed = bench_params(params)
+    vectors = scaled(512, quick)
+    rows = sizing_sweep(vectors=vectors, seed=seed + 2)
+    metrics = {}
+    for name, _pb, _pa, saving, d_before, d_after, moves in rows:
+        metrics[f"{name}.cap_saving"] = saving
+        metrics[f"{name}.delay_ratio"] = (d_after / d_before
+                                          if d_before else 1.0)
+        metrics[f"{name}.moves"] = moves
+    return {"metrics": metrics, "vectors": vectors}
 
 
 def bench_transistor_sizing(benchmark):

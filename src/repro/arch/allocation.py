@@ -47,7 +47,7 @@ def _pair_switching(trace_a: Sequence[Tuple[int, int]],
     """Average Hamming swing when op B follows op A on the same unit."""
     total = 0
     for (a0, a1), (b0, b1) in zip(trace_a, trace_b):
-        total += bin(a0 ^ b0).count("1") + bin(a1 ^ b1).count("1")
+        total += (a0 ^ b0).bit_count() + (a1 ^ b1).bit_count()
     return total / max(1, len(trace_a))
 
 
@@ -142,7 +142,7 @@ def _register_switching(assignment: Dict[str, int],
         names.sort(key=lambda n: lifetimes[n][0])
         for a, b in zip(names, names[1:]):
             ta, tb = traces[a], traces[b]
-            total += sum(bin(x ^ y).count("1")
+            total += sum((x ^ y).bit_count()
                          for x, y in zip(ta, tb)) / max(1, len(ta))
     return total
 
@@ -186,7 +186,7 @@ def bind_registers(dfg: DFG, schedule: Schedule,
                     if prev is None:
                         return 0.0
                     ta, tb = traces[prev], traces[name]
-                    return sum(bin(x ^ y).count("1")
+                    return sum((x ^ y).bit_count()
                                for x, y in zip(ta, tb)) / \
                         max(1, len(ta))
                 reg = min(candidates, key=lambda r: (cost(r), r))

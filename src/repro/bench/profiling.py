@@ -1,0 +1,54 @@
+"""Lightweight per-phase wall-clock profiling for the benchmarks.
+
+Benchmark ``run()`` entry points wrap their dominant computations in
+``with phase("simulation"): ...`` blocks; the harness surrounds the
+whole entry point with :func:`collect_phases` and stores the per-phase
+totals next to the metrics, so "where does the time go —
+simulation, optimization or estimation?" is answered by every
+``BENCH_*.json`` artifact.
+
+The collector is a plain stack: ``phase`` accumulates into the
+innermost active collector and is a no-op when none is active (so the
+pytest-benchmark path pays nothing).  Nested phases each record their
+own wall time, i.e. an inner phase's time is also part of the
+enclosing phase's total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+PHASE_SIM = "simulation"
+PHASE_OPT = "optimization"
+PHASE_EST = "estimation"
+PHASE_SYNTH = "synthesis"
+PHASE_VERIFY = "verification"
+
+_collectors: list = []
+
+
+@contextmanager
+def collect_phases() -> Iterator[Dict[str, float]]:
+    """Activate a collector; yields the dict phase totals land in."""
+    acc: Dict[str, float] = {}
+    _collectors.append(acc)
+    try:
+        yield acc
+    finally:
+        _collectors.remove(acc)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accumulate the elapsed wall time of the block under ``name``."""
+    if not _collectors:
+        yield
+        return
+    acc = _collectors[-1]
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        acc[name] = acc.get(name, 0.0) + (time.perf_counter() - t0)

@@ -1,0 +1,173 @@
+"""Benchmark execution: sequential or process-parallel, crash-proof.
+
+The runner takes :class:`~repro.bench.registry.BenchSpec` entries and
+produces a :class:`~repro.bench.result.RunReport`.  Each benchmark is
+imported lazily and executed inside a worker; a benchmark that raises
+(or fails to import, or exceeds its timeout) yields a ``BenchResult``
+with ``status="error"``/``"timeout"`` and the traceback — it never
+takes the suite down.
+
+``jobs > 1`` uses :class:`concurrent.futures.ProcessPoolExecutor`;
+``jobs <= 1`` runs in-process (handy under pytest and for debugging —
+no timeout enforcement in that mode, since there is no process to
+abandon).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench.profiling import collect_phases
+from repro.bench.registry import BenchSpec
+from repro.bench.result import (STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT,
+                                BenchResult, RunReport)
+
+DEFAULT_TIMEOUT = 600.0
+
+
+def _import_bench_module(path: str):
+    """Import a benchmark module from its file, isolated by path.
+
+    The containing directory is put at the head of ``sys.path`` so the
+    conventional ``from conftest import emit`` import inside benchmark
+    modules resolves; the module itself gets a path-hashed name so two
+    suites with colliding stems (the real one and a test fixture) never
+    share a ``sys.modules`` slot.
+    """
+    p = Path(path).resolve()
+    bench_dir = str(p.parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    digest = hashlib.md5(str(p).encode()).hexdigest()[:8]
+    mod_name = f"repro_bench_{digest}_{p.stem}"
+    if mod_name in sys.modules:
+        return sys.modules[mod_name]
+    spec = importlib.util.spec_from_file_location(mod_name, p)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load benchmark module {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[mod_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(mod_name, None)
+        raise
+    return module
+
+
+def execute_one(name: str, path: str, claims: Sequence[str],
+                params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Run one benchmark; always returns a ``BenchResult`` dict.
+
+    Top-level (picklable) so it can serve as the process-pool task.
+    """
+    params = dict(params or {})
+    result = BenchResult(name=name, claims=tuple(claims),
+                         seed=int(params.get("seed", 0)))
+    t0 = time.perf_counter()
+    try:
+        module = _import_bench_module(path)
+        run = getattr(module, "run", None)
+        if not callable(run):
+            raise AttributeError(
+                f"benchmark {name} has no run(params) entry point")
+        with collect_phases() as phases:
+            payload = run(params)
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            raise TypeError(
+                f"benchmark {name}: run() must return a dict with a "
+                f"'metrics' key, got {type(payload).__name__}")
+        metrics = payload["metrics"]
+        bad = {k: v for k, v in metrics.items()
+               if not isinstance(v, (int, float))
+               or isinstance(v, bool)}
+        if bad:
+            raise TypeError(
+                f"benchmark {name}: non-numeric metrics {sorted(bad)}")
+        result.metrics = {k: metrics[k] for k in metrics}
+        result.vectors = int(payload.get("vectors", 0))
+        result.phases = dict(phases)
+        result.status = STATUS_OK
+    except BaseException:
+        result.status = STATUS_ERROR
+        result.error = traceback.format_exc(limit=20)
+    result.wall_s = time.perf_counter() - t0
+    return result.to_dict()
+
+
+ProgressFn = Callable[[BenchResult], None]
+
+
+def run_benchmarks(specs: Sequence[BenchSpec],
+                   params: Optional[Dict[str, Any]] = None,
+                   jobs: int = 1,
+                   timeout: float = DEFAULT_TIMEOUT,
+                   progress: Optional[ProgressFn] = None) -> RunReport:
+    """Execute ``specs`` and collect a :class:`RunReport`.
+
+    ``timeout`` is per benchmark, enforced only in process mode
+    (``jobs > 1``).  A timed-out worker is abandoned: its result is
+    recorded as ``status="timeout"`` and the pool is torn down without
+    waiting for it at the end of the run.
+    """
+    params = dict(params or {})
+    report = RunReport.new(params={**params, "jobs": jobs,
+                                   "timeout": timeout})
+    if jobs <= 1:
+        for spec in specs:
+            res = BenchResult.from_dict(
+                execute_one(spec.name, spec.path, spec.claims, params))
+            report.results.append(res)
+            if progress:
+                progress(res)
+        return report
+
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    timed_out = False
+    try:
+        futures = [(spec,
+                    executor.submit(execute_one, spec.name, spec.path,
+                                    spec.claims, params))
+                   for spec in specs]
+        for spec, fut in futures:
+            try:
+                res = BenchResult.from_dict(fut.result(timeout=timeout))
+            except FutureTimeout:
+                timed_out = True
+                fut.cancel()
+                res = BenchResult(
+                    name=spec.name, claims=spec.claims,
+                    seed=int(params.get("seed", 0)),
+                    status=STATUS_TIMEOUT, wall_s=timeout,
+                    error=f"exceeded {timeout:g}s timeout")
+            except Exception:
+                res = BenchResult(
+                    name=spec.name, claims=spec.claims,
+                    seed=int(params.get("seed", 0)),
+                    status=STATUS_ERROR,
+                    error=traceback.format_exc(limit=20))
+            report.results.append(res)
+            if progress:
+                progress(res)
+    finally:
+        if timed_out:
+            # Kill abandoned workers: a runaway benchmark would
+            # otherwise keep the interpreter alive at exit (the
+            # pool's atexit hook joins live workers).
+            for proc in list(getattr(executor, "_processes",
+                                     {}).values()):
+                proc.kill()
+        executor.shutdown(wait=not timed_out, cancel_futures=True)
+    return report
+
+
+def failures(report: RunReport) -> List[BenchResult]:
+    return [r for r in report.results if not r.ok]

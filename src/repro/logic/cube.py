@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 class Cube:

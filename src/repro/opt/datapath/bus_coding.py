@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 def uncoded_transitions(stream: Sequence[int]) -> int:

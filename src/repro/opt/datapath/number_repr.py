@@ -43,7 +43,7 @@ def stream_transitions(values: Sequence[int], width: int,
     for v in values:
         word = encode(v, width)
         if prev is not None:
-            total += bin(prev ^ word).count("1")
+            total += (prev ^ word).bit_count()
         prev = word
     return total
 

@@ -101,7 +101,7 @@ class OneHotResidue:
         for v in values:
             word = self.encode(v).wires(self.moduli)
             if prev is not None:
-                total += bin(prev ^ word).count("1")
+                total += (prev ^ word).bit_count()
             prev = word
         return total
 
@@ -114,6 +114,6 @@ class OneHotResidue:
         for v in values:
             w = v & mask
             if prev is not None:
-                total += bin(prev ^ w).count("1")
+                total += (prev ^ w).bit_count()
             prev = w
         return total

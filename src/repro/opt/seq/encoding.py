@@ -27,7 +27,7 @@ from repro.power.model import PowerParameters, PowerReport, power_report
 
 
 def _hamming(a: int, b: int) -> int:
-    return bin(a ^ b).count("1")
+    return (a ^ b).bit_count()
 
 
 def encoding_cost(stg: STG, encoding: Dict[str, int],

@@ -22,7 +22,7 @@ from repro.logic.netlist import Network
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 @dataclass

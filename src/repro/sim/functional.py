@@ -13,10 +13,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.logic.netlist import Network
 
 
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
-
-
 def simulate_transitions(net: Network, input_words: Dict[str, int],
                          count: int) -> Dict[str, int]:
     """Transitions of every node across ``count`` consecutive patterns.
@@ -30,7 +26,7 @@ def simulate_transitions(net: Network, input_words: Dict[str, int],
     mask = (1 << count) - 1
     values = net.evaluate_words(input_words, mask)
     pair_mask = (1 << (count - 1)) - 1
-    return {name: _popcount((w ^ (w >> 1)) & pair_mask)
+    return {name: ((w ^ (w >> 1)) & pair_mask).bit_count()
             for name, w in values.items()}
 
 
@@ -39,7 +35,7 @@ def node_one_counts(net: Network, input_words: Dict[str, int],
     """Number of patterns on which each node evaluates to 1."""
     mask = (1 << count) - 1
     values = net.evaluate_words(input_words, mask)
-    return {name: _popcount(w) for name, w in values.items()}
+    return {name: w.bit_count() for name, w in values.items()}
 
 
 def sequential_transitions(net: Network,

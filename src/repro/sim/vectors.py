@@ -100,7 +100,7 @@ def counter_bus_stream(width: int, count: int, start: int = 0,
 
 def hamming(a: int, b: int) -> int:
     """Hamming distance between two bus values."""
-    return bin(a ^ b).count("1")
+    return (a ^ b).bit_count()
 
 
 def stream_transitions(stream: Iterable[int]) -> int:

@@ -121,7 +121,7 @@ class CPU:
             enc = ins.encoding()
             if prev_enc is not None:
                 e_over += prof.overhead_per_bit * \
-                    bin(prev_enc ^ enc).count("1")
+                    (prev_enc ^ enc).bit_count()
             prev_enc = enc
             trace.append(ins.op)
             nxt = pc + 1

@@ -40,7 +40,7 @@ def control_path_switching(trace: Sequence[str]) -> int:
     for op in trace:
         enc = OPCODES[op]
         if prev is not None:
-            total += bin(prev ^ enc).count("1")
+            total += (prev ^ enc).bit_count()
         prev = enc
     return total
 

@@ -7,8 +7,12 @@ Subcommands:
 * ``optimize <file.blif>`` — run the low-power flow, write BLIF out
 * ``map <file.blif>``      — technology map (area/power/delay objective)
 * ``balance <file.blif>``  — path-balancing buffer insertion
+* ``bench run``            — execute the experiment suite in parallel,
+  write a ``BENCH_<timestamp>.json`` artifact
+* ``bench compare``        — diff two bench artifacts, fail on drift
 
-All commands accept ``--vectors`` (simulation length) and ``--seed``.
+All netlist commands accept ``--vectors`` (simulation length) and
+``--seed``.
 """
 
 from __future__ import annotations
@@ -142,6 +146,71 @@ def _cmd_fsm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (default_report_filename, discover,
+                             run_benchmarks)
+
+    bench_dir = args.bench_dir
+    specs = discover(bench_dir, pattern=args.filter)
+    if not specs:
+        print("error: no benchmarks matched", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec in specs:
+            claims = ",".join(spec.claims) or "-"
+            print(f"{spec.name:24s} [{claims:4s}] {spec.description}")
+        return 0
+
+    params = {"quick": args.quick, "seed": args.seed}
+    mode = "quick" if args.quick else "full"
+    print(f"running {len(specs)} benchmarks ({mode}, seed "
+          f"{args.seed}, jobs {args.jobs}) ...")
+
+    def progress(res):
+        marker = "ok " if res.ok else res.status
+        print(f"  [{marker:7s}] {res.name:24s} {res.wall_s:7.2f}s")
+
+    report = run_benchmarks(specs, params, jobs=args.jobs,
+                            timeout=args.timeout, progress=progress)
+    out = args.output or default_report_filename()
+    report.write(out)
+    print(f"\n{report.num_ok}/{len(report.results)} ok -> {out}")
+    if args.phases:
+        print("\nper-phase wall time (s):")
+        totals: dict = {}
+        for r in report.results:
+            for name, t in r.phases.items():
+                totals[name] = totals.get(name, 0.0) + t
+        for name, t in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:14s} {t:8.3f}")
+    for r in report.results:
+        if not r.ok and r.error:
+            print(f"\n--- {r.name} ({r.status}) ---\n{r.error}",
+                  file=sys.stderr)
+    return 0 if report.all_ok else 1
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import RunReport, compare_reports
+
+    try:
+        base = RunReport.load(args.baseline)
+        cur = RunReport.load(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for key in ("quick", "seed"):
+        if base.params.get(key) != cur.params.get(key):
+            print(f"warning: baseline {key}={base.params.get(key)!r} "
+                  f"vs current {key}={cur.params.get(key)!r} — "
+                  f"metrics are only comparable at equal parameters",
+                  file=sys.stderr)
+    cmp = compare_reports(base, cur, rel_tol=args.tol,
+                          abs_tol=args.abs_tol)
+    print(cmp.summary())
+    return 0 if cmp.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +263,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vectors", type=int, default=1500)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_fsm)
+
+    p = sub.add_parser("bench", help="benchmark harness (run the "
+                       "experiment suite, track regressions)")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser("run", help="execute benchmarks, write "
+                        "BENCH_<timestamp>.json")
+    b.add_argument("--quick", action="store_true",
+                   help="small vector counts (CI smoke mode)")
+    b.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel worker processes (default 1: "
+                   "in-process)")
+    b.add_argument("--filter", default=None, metavar="SUBSTR",
+                   help="comma-separated name substrings to select")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--timeout", type=float, default=600.0,
+                   metavar="S", help="per-benchmark timeout "
+                   "(process mode only, default 600)")
+    b.add_argument("-o", "--output", default=None,
+                   help="artifact path (default BENCH_<timestamp>"
+                   ".json)")
+    b.add_argument("--bench-dir", default=None,
+                   help="benchmark directory (default: the repo's "
+                   "benchmarks/, or $REPRO_BENCH_DIR)")
+    b.add_argument("--list", action="store_true",
+                   help="list matching benchmarks and exit")
+    b.add_argument("--phases", action="store_true",
+                   help="print the aggregate per-phase timer table")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bsub.add_parser("compare", help="diff two bench artifacts; "
+                        "non-zero exit on metric drift")
+    b.add_argument("baseline", help="baseline BENCH_*.json")
+    b.add_argument("current", help="current BENCH_*.json")
+    b.add_argument("--tol", type=float, default=0.05, metavar="REL",
+                   help="relative drift tolerance (default 0.05)")
+    b.add_argument("--abs-tol", type=float, default=1e-9,
+                   metavar="ABS", help="absolute tolerance floor")
+    b.set_defaults(func=_cmd_bench_compare)
     return parser
 
 
