@@ -9,7 +9,8 @@ Metric conventions
 ------------------
 * metric values are numbers (int/float); the key encodes the quantity,
   e.g. ``"rca16.sw_fraction"`` or ``"saving.n3_strong"``;
-* keys ending in ``_ms`` or ``_s`` are wall-clock measurements and are
+* keys ending in ``_ms`` or ``_s`` are wall-clock measurements, and
+  keys ending in ``_x`` are speedup ratios derived from them; both are
   treated as *volatile*: recorded for trend plots but excluded from
   drift detection (see :mod:`repro.bench.compare`).
 """
@@ -28,8 +29,9 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 
-#: metric-key suffixes whose values are wall-clock dependent.
-VOLATILE_SUFFIXES: Tuple[str, ...] = ("_ms", "_s")
+#: metric-key suffixes whose values are wall-clock dependent
+#: (timings and the speedup ratios computed from them).
+VOLATILE_SUFFIXES: Tuple[str, ...] = ("_ms", "_s", "_x")
 
 
 def is_volatile_metric(key: str) -> bool:

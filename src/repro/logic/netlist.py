@@ -93,11 +93,17 @@ class Network:
         self.outputs: List[str] = []
         self.latches: List[Latch] = []
         self._topo_cache: Optional[List[str]] = None
+        #: compiled evaluation program (repro.sim.compiled); opaque here
+        #: to avoid a layering cycle.  Cleared by every structural
+        #: mutation hook and re-validated against a structural
+        #: fingerprint on use, so stale programs are never evaluated.
+        self._compiled: Optional[object] = None
 
     # -- construction ---------------------------------------------------
 
     def _invalidate(self) -> None:
         self._topo_cache = None
+        self._compiled = None
 
     def _check_new(self, name: str) -> None:
         if name in self.nodes:

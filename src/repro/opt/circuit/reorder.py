@@ -9,11 +9,13 @@ greedy order is provided for wider stacks and as a baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import permutations
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.library.transistors import SeriesStack, StackEnergyModel
+from repro.logic.gates import GateType
+from repro.logic.netlist import Network
 
 
 @dataclass
@@ -99,3 +101,78 @@ def optimize_stack_order(probs: Sequence[float],
                          best_delay=best[1], baseline_energy=base_energy,
                          baseline_delay=base_delay,
                          worst_energy=worst_energy)
+
+
+# -- network-level driver ----------------------------------------------------
+
+#: Gate types realized as a single series transistor stack.  The NMOS
+#: pull-down of AND/NAND conducts on input 1; the PMOS pull-up of
+#: OR/NOR conducts on input 0, so its conduction probabilities are the
+#: complements of the signal probabilities.
+STACK_GATES = (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR)
+
+
+@dataclass
+class NetworkReorderResult:
+    """Aggregate outcome of reordering every eligible stack in a net."""
+
+    per_gate: Dict[str, ReorderResult] = field(default_factory=dict)
+    energy_before: float = 0.0
+    energy_after: float = 0.0
+    gates_considered: int = 0
+    gates_improved: int = 0
+
+    @property
+    def energy_saving(self) -> float:
+        if self.energy_before == 0.0:
+            return 0.0
+        return 1.0 - self.energy_after / self.energy_before
+
+
+def reorder_network_stacks(net: Network,
+                           input_probs: Optional[Dict[str, float]] = None,
+                           num_vectors: int = 512, seed: int = 0,
+                           probs: Optional[Dict[str, float]] = None,
+                           model: Optional[StackEnergyModel] = None,
+                           delay_limit: Optional[float] = None,
+                           reuse=None,
+                           apply: bool = True) -> NetworkReorderResult:
+    """Reorder the series stacks of every AND/NAND/OR/NOR gate.
+
+    Per-gate conduction probabilities come from one compiled Monte-Carlo
+    simulation of the whole network
+    (:func:`repro.power.activity.activity_from_simulation`; pass a warm
+    :class:`~repro.power.activity.SimulationCache` as ``reuse`` to share
+    it with an enclosing flow, or precomputed signal probabilities as
+    ``probs`` to skip it entirely).  Reordering transistors inside a
+    gate never changes its logic function, so a single simulation serves
+    every stack.  With ``apply`` the chosen order is recorded in
+    ``node.attrs["stack_order"]``.
+    """
+    if probs is None:
+        from repro.power.activity import activity_from_simulation
+
+        _act, probs = activity_from_simulation(net, num_vectors, seed,
+                                               input_probs, reuse=reuse)
+    model = model or StackEnergyModel()
+    arrivals = net.levels()
+    result = NetworkReorderResult()
+    for node in net.gate_nodes():
+        if node.kind != "gate" or node.gtype not in STACK_GATES or \
+                len(node.fanins) < 2:
+            continue
+        fanin_p = [probs[fi] for fi in node.fanins]
+        if node.gtype in (GateType.OR, GateType.NOR):
+            fanin_p = [1.0 - p for p in fanin_p]
+        arrival = [arrivals[fi] for fi in node.fanins]
+        res = optimize_stack_order(fanin_p, arrival=arrival,
+                                   delay_limit=delay_limit, model=model)
+        result.per_gate[node.name] = res
+        result.gates_considered += 1
+        result.energy_before += res.baseline_energy
+        result.energy_after += res.best_energy
+        if res.best_energy < res.baseline_energy:
+            result.gates_improved += 1
+        if apply:
+            node.attrs["stack_order"] = list(res.best_order)
+    return result

@@ -126,11 +126,14 @@ class SizingResult:
         return 1.0 - self.power_after / self.power_before
 
 
-def size_for_power(net: Network, activity: Dict[str, float],
+def size_for_power(net: Network,
+                   activity: Optional[Dict[str, float]] = None,
                    delay_target: Optional[float] = None,
                    allowed_sizes: Sequence[float] = (1.0, 2.0, 4.0),
                    params: Optional[PowerParameters] = None,
-                   apply: bool = True) -> SizingResult:
+                   apply: bool = True,
+                   num_vectors: int = 512,
+                   seed: int = 0) -> SizingResult:
     """Greedy slack-recycling downsizer.
 
     Starts with every gate at the largest allowed size (the
@@ -139,8 +142,18 @@ def size_for_power(net: Network, activity: Dict[str, float],
     ``delay_target`` (default: the all-max-size delay — i.e. zero
     nominal slack, matching the paper's "given a delay constraint").
     When ``apply`` is set the final sizes are written to node attrs.
+
+    ``activity=None`` estimates switching activity internally with one
+    compiled Monte-Carlo simulation (``num_vectors``/``seed``); sizing
+    moves never change any node's logic function, so a single
+    simulation serves the whole downhill walk.
     """
     params = params or PowerParameters()
+    if activity is None:
+        from repro.power.activity import activity_from_simulation
+
+        activity, _probs = activity_from_simulation(net, num_vectors,
+                                                    seed)
     ordered = sorted(allowed_sizes)
     sizes = {name: float(ordered[-1])
              for name, node in net.nodes.items() if not node.is_source()}

@@ -21,8 +21,10 @@ from repro.logic.cube import Cube
 from repro.logic.netlist import Network, Node
 from repro.logic.sop import Cover
 from repro.logic.transform import node_cover
-from repro.power.activity import activity_from_probability, \
-    signal_probability_propagation
+from repro.power.activity import (SimulationCache,
+                                  activity_from_probability,
+                                  activity_from_simulation,
+                                  signal_probability_propagation)
 from repro.power.model import node_capacitance
 
 
@@ -185,12 +187,20 @@ def dontcare_power_optimization(net: Network,
 
     probs = signal_probability_propagation(net, input_probs)
 
-    def total_cost() -> Tuple[float, int]:
-        if estimator == "simulation":
-            from repro.power.activity import activity_from_simulation
+    # Monte-Carlo state shared across the pass: the global cost check
+    # after each candidate rewrite re-simulates only the rewritten
+    # node's transitive fanout cone (repro.sim.compiled) instead of the
+    # whole network.
+    sim_cache = SimulationCache() if estimator == "simulation" else None
 
-            act, _p = activity_from_simulation(net, num_vectors, seed,
-                                               input_probs)
+    def total_cost(dirty=None,
+                   cache: Optional[SimulationCache] = None
+                   ) -> Tuple[float, int]:
+        if estimator == "simulation":
+            act, _p = activity_from_simulation(
+                net, num_vectors, seed, input_probs,
+                reuse=cache if cache is not None else sim_cache,
+                dirty=dirty)
         else:
             p = signal_probability_propagation(net, input_probs)
             act = {n: activity_from_probability(p[n]) for n in p}
@@ -245,11 +255,16 @@ def dontcare_power_optimization(net: Network,
         if best is not on and not best.is_equivalent(on):
             # Accept only if the *global* estimate improves: a changed
             # node shifts the statistics of its whole transitive fanout
-            # (the refinement of [19]).
-            before_cap, _lits = total_cost()
+            # (the refinement of [19]).  The trial re-simulates only
+            # that cone, on a cache snapshot so a rejected rewrite
+            # costs no resynchronization.
+            before_cap, _lits = total_cost(dirty=())
             node.cover = best
-            after_cap, _lits = total_cost()
+            trial = sim_cache.copy() if sim_cache is not None else None
+            after_cap, _lits = total_cost(dirty=(name,), cache=trial)
             if after_cap < before_cap:
+                if sim_cache is not None:
+                    sim_cache.adopt(trial)
                 changed += 1
                 probs = signal_probability_propagation(net, input_probs)
                 funcs = network_bdds(net)

@@ -4,9 +4,13 @@ from repro.sim.vectors import random_words, words_from_vectors, \
     vectors_from_words, random_bus_stream, counter_bus_stream
 from repro.sim.functional import simulate_transitions, \
     sequential_transitions
+from repro.sim.compiled import (CompiledNetwork, compile_network,
+                                get_compiled, structural_fingerprint)
 from repro.sim.event import EventSimulator, timed_transitions
 
 __all__ = ["random_words", "words_from_vectors", "vectors_from_words",
            "random_bus_stream", "counter_bus_stream",
            "simulate_transitions", "sequential_transitions",
+           "CompiledNetwork", "compile_network", "get_compiled",
+           "structural_fingerprint",
            "EventSimulator", "timed_transitions"]

@@ -66,12 +66,15 @@ def vectors_from_words(words: Dict[str, int], count: int
 
 def random_bus_stream(width: int, count: int, seed: int = 0,
                       correlation: float = 0.0) -> List[int]:
-    """Stream of ``count`` bus values of ``width`` bits.
+    """Stream of exactly ``count`` bus values of ``width`` bits.
 
     ``correlation`` in [0, 1) is the per-bit probability of *keeping* the
     previous value; 0 gives i.i.d. uniform words (the worst case for bus
     coding experiments), values near 1 give slowly-varying data.
+    ``count <= 0`` yields an empty stream.
     """
+    if count <= 0:
+        return []
     rng = random.Random(seed)
     mask = (1 << width) - 1
     out: List[int] = []

@@ -205,6 +205,15 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
                   f"vs current {key}={cur.params.get(key)!r} — "
                   f"metrics are only comparable at equal parameters",
                   file=sys.stderr)
+    if args.filter:
+        subs = [s.strip() for s in args.filter.split(",") if s.strip()]
+        for report in (base, cur):
+            report.results = [r for r in report.results
+                              if any(s in r.name for s in subs)]
+        if not base.results and not cur.results:
+            print(f"error: --filter {args.filter!r} matches no "
+                  f"benchmark in either report", file=sys.stderr)
+            return 2
     cmp = compare_reports(base, cur, rel_tol=args.tol,
                           abs_tol=args.abs_tol)
     print(cmp.summary())
@@ -301,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative drift tolerance (default 0.05)")
     b.add_argument("--abs-tol", type=float, default=1e-9,
                    metavar="ABS", help="absolute tolerance floor")
+    b.add_argument("--filter", default=None, metavar="SUBSTR",
+                   help="comma-separated name substrings: compare "
+                   "only matching benchmarks from both reports")
     b.set_defaults(func=_cmd_bench_compare)
     return parser
 

@@ -238,3 +238,79 @@ def test_gray_code_adjacent_single_flip(n):
 
     g1, g2 = _to_gray(n), _to_gray(n + 1)
     assert bin(g1 ^ g2).count("1") == 1
+
+
+# -- compiled simulation -------------------------------------------------------
+
+
+@given(st.integers(0, 10 ** 6), st.integers(4, 9), st.integers(10, 40),
+       st.integers(0, 10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_compiled_and_interpreted_agree_on_random_networks(
+        net_seed, num_inputs, num_gates, stim_seed):
+    from repro.logic.generators import random_logic
+    from repro.sim.compiled import get_compiled
+    from repro.sim.vectors import random_words
+
+    net = random_logic(num_inputs, num_gates, seed=net_seed)
+    sources = [n.name for n in net.nodes.values() if n.is_source()]
+    words = random_words(sources, 64, stim_seed)
+    mask = (1 << 64) - 1
+    assert net.evaluate_words(words, mask) == \
+        get_compiled(net).evaluate_words(words, mask)
+
+
+@given(st.integers(0, 10 ** 6), st.integers(0, 10 ** 6),
+       st.integers(0, 10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_incremental_resimulation_agrees_after_random_edit(
+        net_seed, stim_seed, edit_seed):
+    from repro.logic.gates import GateType
+    from repro.logic.generators import random_logic
+    from repro.sim.compiled import get_compiled
+    from repro.sim.vectors import random_words
+
+    flip = {GateType.AND: GateType.NAND, GateType.NAND: GateType.AND,
+            GateType.OR: GateType.NOR, GateType.NOR: GateType.OR,
+            GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR}
+    net = random_logic(8, 30, seed=net_seed)
+    sources = [n.name for n in net.nodes.values() if n.is_source()]
+    words = random_words(sources, 64, stim_seed)
+    mask = (1 << 64) - 1
+    prev = get_compiled(net).evaluate_words(words, mask)
+    gates = [n for n in net.gate_nodes() if n.gtype in flip]
+    gate = gates[random.Random(edit_seed).randrange(len(gates))]
+    gate.gtype = flip[gate.gtype]
+    inc = get_compiled(net).evaluate_incremental(prev, [gate.name],
+                                                 words, mask)
+    assert inc == net.evaluate_words(words, mask)
+
+
+@given(st.integers(0, 10 ** 6), st.permutations(list(range(4))),
+       st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_equivalence_verdict_invariant_under_output_order(
+        net_seed, perm, corrupt):
+    from repro.logic.gates import GateType
+    from repro.logic.generators import random_logic
+    from repro.sim.functional import (verify_equivalence,
+                                      verify_equivalence_exact)
+
+    net = random_logic(5, 12, seed=net_seed)
+    net.outputs = net.outputs[:4]
+    perm = [i for i in perm if i < len(net.outputs)]
+    other = net.copy()
+    if corrupt:
+        victim = other.nodes[other.outputs[0]]
+        if victim.kind == "gate":
+            victim.gtype = GateType.NOT if victim.gtype is not GateType.NOT \
+                else GateType.BUF
+            victim.fanins = victim.fanins[:1]
+        else:
+            victim.cover = victim.cover.complement()
+        other._invalidate()
+    expected = verify_equivalence(net, other, num_vectors=64)
+    expected_exact = verify_equivalence_exact(net, other)
+    other.outputs = [other.outputs[i] for i in perm]
+    assert verify_equivalence(net, other, num_vectors=64) == expected
+    assert verify_equivalence_exact(net, other) == expected_exact
