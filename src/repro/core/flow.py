@@ -1,8 +1,12 @@
-"""The end-to-end low-power logic synthesis flow.
+"""The end-to-end low-power logic synthesis flows.
 
 Chains the combinational optimizations of Sections II–III on a netlist
-and reports power after every stage, verifying functional equivalence
-along the way.  This is what the quickstart example drives.
+and reports power after every stage.  Both flows run on the fail-soft
+pass engine of :mod:`repro.core.passes`: each stage executes on a trial
+copy, is verified (equivalence + optional power gate), and is adopted
+or rolled back — a crashing stage is recorded in the structured
+:class:`~repro.core.passes.FlowTrace` instead of aborting the flow
+(``strict=True`` restores the legacy raise).
 """
 
 from __future__ import annotations
@@ -10,26 +14,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.passes import (ADOPTED, FlowTrace, Pass, PassContext,
+                               StageRunner, make_pass, measure,
+                               run_network_passes)
 from repro.library.cells import Library, generic_library
-from repro.logic.netlist import Network
-from repro.opt.circuit.sizing import size_for_power
-from repro.opt.logic.dontcare import dontcare_power_optimization
-from repro.opt.logic.kernels import extract_kernels
-from repro.opt.logic.mapping import tech_map
-from repro.power.activity import activity_from_simulation
-from repro.power.model import PowerParameters, PowerReport, power_report
-from repro.sim.functional import verify_equivalence
+from repro.logic.netlist import Latch, Network
+from repro.power.model import PowerParameters, PowerReport
+
+__all__ = ["FlowStage", "FlowResult", "SequentialFlowResult",
+           "low_power_flow", "fsm_low_power_flow", "run_flow"]
 
 
 @dataclass
 class FlowStage:
-    """Power snapshot after one optimization stage."""
+    """Power snapshot after one optimization stage.
+
+    ``outcome`` records what the engine did: ``adopted`` (the stage's
+    result was kept), ``skipped`` (guard fired — e.g. ``size-cap``), or
+    ``rolled_back`` (the stage failed; the snapshot is of the unchanged
+    adopted state)."""
 
     name: str
     report: PowerReport
     gates: int
     transistors: int
     depth: float
+    outcome: str = ADOPTED
+    reason: str = ""
 
 
 @dataclass
@@ -38,6 +49,7 @@ class FlowResult:
 
     stages: List[FlowStage] = field(default_factory=list)
     final: Optional[Network] = None
+    trace: Optional[FlowTrace] = None
 
     @property
     def total_saving(self) -> float:
@@ -53,24 +65,113 @@ class FlowResult:
         rows = []
         base = self.stages[0].report.total if self.stages else 0.0
         for s in self.stages:
-            rows.append([s.name, s.gates, s.transistors, s.depth,
-                         s.report.total * 1e6,
-                         (1.0 - s.report.total / base) if base else 0.0])
+            outcome = s.outcome if s.outcome == ADOPTED else \
+                (f"{s.outcome}: {s.reason}" if s.reason else s.outcome)
+            rows.append([s.name, outcome, s.gates, s.transistors,
+                         s.depth, s.report.total * 1e6,
+                         (1.0 - s.report.total / base) if base
+                         else 0.0])
         return format_table(
-            ["stage", "gates", "transistors", "depth", "power (uW)",
-             "saving"], rows)
+            ["stage", "outcome", "gates", "transistors", "depth",
+             "power (uW)", "saving"], rows)
 
 
-def _snapshot(name: str, net: Network, num_vectors: int, seed: int,
-              input_probs: Optional[Dict[str, float]],
-              params: Optional[PowerParameters]) -> FlowStage:
-    activity, _ = activity_from_simulation(net, num_vectors, seed,
-                                           input_probs)
-    rep = power_report(net, activity, params)
-    return FlowStage(name=name, report=rep, gates=net.num_gates(),
-                     transistors=net.num_transistors(),
-                     depth=net.depth())
+def _default_passes(use_dontcares: bool, use_extraction: bool,
+                    use_mapping: bool, use_sizing: bool,
+                    dontcare_size_cap: Optional[int]) -> List[Pass]:
+    passes: List[Pass] = []
+    if use_dontcares:
+        passes.append(make_pass("dontcare",
+                                {"size_cap": dontcare_size_cap}))
+    if use_extraction:
+        passes.append(make_pass("extract"))
+    if use_mapping:
+        passes.append(make_pass("map"))
+    if use_sizing:
+        passes.append(make_pass("size"))
+    return passes
 
+
+def _run_engine(net: Network, passes: List[Pass], ctx: PassContext,
+                flow_name: str, strict: bool) -> FlowResult:
+    """Measure, run the pass list, and fold the engine's outcomes into
+    a :class:`FlowResult` (one stage entry per pass, whatever its
+    outcome, after the ``initial`` snapshot)."""
+    from repro.logic.transform import to_sop_network
+
+    # Enter the technology-independent SOP domain first so every stage
+    # is measured under the same capacitance model (gate and SOP nodes
+    # carry slightly different transistor-count proxies).
+    work = to_sop_network(net)
+    trace = FlowTrace(flow=flow_name, num_vectors=ctx.num_vectors,
+                      seed=ctx.seed, strict=strict)
+    initial = measure(work, ctx)
+    result = FlowResult(trace=trace)
+    result.stages.append(FlowStage(
+        name="initial", report=initial.report, gates=initial.gates,
+        transistors=initial.transistors, depth=initial.depth))
+    final, trace, outcomes = run_network_passes(
+        work, passes, ctx, strict=strict, trace=trace,
+        initial=initial)
+    for oc in outcomes:
+        snap = oc.snapshot
+        result.stages.append(FlowStage(
+            name=oc.record.name, report=snap.report,
+            gates=snap.gates, transistors=snap.transistors,
+            depth=snap.depth, outcome=oc.record.outcome,
+            reason=oc.record.reason))
+    result.final = final
+    return result
+
+
+def low_power_flow(net: Network,
+                   library: Optional[Library] = None,
+                   input_probs: Optional[Dict[str, float]] = None,
+                   params: Optional[PowerParameters] = None,
+                   num_vectors: int = 1024, seed: int = 0,
+                   use_dontcares: bool = True,
+                   use_extraction: bool = True,
+                   use_mapping: bool = True,
+                   use_sizing: bool = True,
+                   check_equivalence: bool = True,
+                   dontcare_size_cap: Optional[int] = 120,
+                   strict: bool = False) -> FlowResult:
+    """Run the combinational low-power flow on (a copy of) ``net``.
+
+    Stages: don't-care re-minimization → power-aware kernel extraction
+    → power-driven technology mapping → slack-recycling sizing.  Each
+    stage runs on a trial copy, is verified against the original by
+    random simulation (``max(256, num_vectors // 4)`` vectors), and is
+    rolled back — with the failure recorded in ``result.trace`` — when
+    it raises or breaks equivalence.  ``dontcare_size_cap`` skips the
+    (expensive) don't-care stage above that many gates, recording the
+    skip; ``None`` removes the cap.  ``strict=True`` re-raises stage
+    failures instead of rolling back.
+    """
+    library = library or generic_library()
+    ctx = PassContext(original=net, library=library,
+                      input_probs=input_probs, params=params,
+                      num_vectors=num_vectors, seed=seed,
+                      check_equivalence=check_equivalence)
+    passes = _default_passes(use_dontcares, use_extraction,
+                             use_mapping, use_sizing,
+                             dontcare_size_cap)
+    return _run_engine(net, passes, ctx, "low_power_flow", strict)
+
+
+def run_flow(net: Network, spec, library: Optional[Library] = None,
+             input_probs: Optional[Dict[str, float]] = None,
+             params: Optional[PowerParameters] = None) -> FlowResult:
+    """Run a declarative :class:`~repro.core.passes.FlowSpec`."""
+    library = library or generic_library()
+    ctx = PassContext(original=net, library=library,
+                      input_probs=input_probs, params=params,
+                      num_vectors=spec.num_vectors, seed=spec.seed,
+                      check_equivalence=spec.check_equivalence)
+    return _run_engine(net, spec.build(), ctx, spec.name, spec.strict)
+
+
+# -- the sequential (FSM) flow ------------------------------------------
 
 @dataclass
 class SequentialFlowResult:
@@ -84,6 +185,7 @@ class SequentialFlowResult:
     power_after: float
     network: Optional[Network] = None
     baseline: Optional[Network] = None
+    trace: Optional[FlowTrace] = None
 
     @property
     def saving(self) -> float:
@@ -92,13 +194,41 @@ class SequentialFlowResult:
         return 1.0 - self.power_after / self.power_before
 
 
+def _enable_rate(trace_values: List[Dict[str, int]],
+                 latches: List[Latch]) -> float:
+    """Fraction of cycles the state registers are actually clocked.
+
+    The enable nets are taken from the latches themselves (not a
+    hard-coded signal name); a renamed or absent enable degrades to
+    rate 1.0 (always clocked) rather than a ``KeyError``.
+    """
+    enables = sorted({l.enable for l in latches
+                      if l.enable is not None})
+    if not enables:
+        return 1.0
+    rates = []
+    for en in enables:
+        samples = [t[en] for t in trace_values if en in t]
+        if samples:
+            rates.append(sum(samples) / len(samples))
+    if not rates:
+        return 1.0
+    return sum(rates) / len(rates)
+
+
 def fsm_low_power_flow(stg, sequence_length: int = 1500, seed: int = 0,
                        anneal_iterations: int = 2500,
-                       params: Optional[PowerParameters] = None
-                       ) -> SequentialFlowResult:
+                       params: Optional[PowerParameters] = None,
+                       strict: bool = False) -> SequentialFlowResult:
     """The sequential flow: minimize states → low-power encoding →
     self-loop clock gating, measured against the naturally-encoded,
-    un-gated baseline (clock-tree power included)."""
+    un-gated baseline (clock-tree power included).
+
+    Runs on the fail-soft stage engine: a stage that raises is recorded
+    in the trace and replaced by its safe fallback (unminimized STG,
+    natural encoding, un-gated machine) so the flow still produces a
+    result; ``strict=True`` re-raises.
+    """
     from repro.opt.seq.encoding import encode_anneal, encode_natural
     from repro.opt.seq.gated_clock import (clock_power,
                                            self_loop_clock_gating)
@@ -106,102 +236,62 @@ def fsm_low_power_flow(stg, sequence_length: int = 1500, seed: int = 0,
     from repro.opt.seq.stg import synthesize_fsm
     from repro.power.activity import sequential_activity
     from repro.power.model import power_report
+    from repro.sim.functional import sequential_transitions
 
-    reduced = minimize_stg(stg)
-    encoding = encode_anneal(reduced, iterations=anneal_iterations,
-                             seed=seed)
-    gated = self_loop_clock_gating(reduced, encoding)
+    trace = FlowTrace(flow="fsm_low_power_flow",
+                      num_vectors=sequence_length, seed=seed,
+                      strict=strict)
+    runner = StageRunner(trace, strict=strict)
+
+    reduced = runner.run("minimize", lambda: minimize_stg(stg),
+                         fallback=stg)
+    encoding = runner.run(
+        "encode",
+        lambda: encode_anneal(reduced, iterations=anneal_iterations,
+                              seed=seed),
+        fallback=lambda: encode_natural(reduced))
+    gres = runner.run(
+        "clock-gate",
+        lambda: self_loop_clock_gating(reduced, encoding),
+        fallback=None)
+    if gres is not None:
+        gated_net = gres.network
+        activation = gres.activation_probability
+    else:
+        gated_net = synthesize_fsm(reduced, encoding,
+                                   name="fsm_gated")
+        activation = 0.0
     baseline = synthesize_fsm(stg, encode_natural(stg),
                               name="fsm_reference")
 
     seq = stg.random_input_sequence(sequence_length, seed)
     vectors = [{f"x{i}": (v >> i) & 1 for i in range(stg.num_inputs)}
                for v in seq]
-    from repro.sim.functional import sequential_transitions
 
-    _, trace = sequential_transitions(gated.network, vectors)
-    enable_rate = sum(t["_fa_n"] for t in trace) / max(1, len(trace))
+    def simulate():
+        _, values = sequential_transitions(gated_net, vectors)
+        return _enable_rate(values, gated_net.latches)
 
-    p_before = power_report(
-        baseline, sequential_activity(baseline, vectors),
-        params).total + clock_power(baseline, {}, params)
-    p_after = power_report(
-        gated.network, sequential_activity(gated.network, vectors),
-        params).total + clock_power(
-            gated.network,
-            {l.output: enable_rate for l in gated.network.latches},
-            params)
+    enable_rate = runner.run("simulate", simulate, fallback=1.0)
+
+    def power_pair():
+        p_before = power_report(
+            baseline, sequential_activity(baseline, vectors),
+            params).total + clock_power(baseline, {}, params)
+        p_after = power_report(
+            gated_net, sequential_activity(gated_net, vectors),
+            params).total + clock_power(
+                gated_net,
+                {l.output: enable_rate for l in gated_net.latches},
+                params)
+        return p_before, p_after
+
+    p_before, p_after = runner.run("measure", power_pair,
+                                   fallback=(0.0, 0.0))
     return SequentialFlowResult(
         states_before=len(stg.states),
         states_after=len(reduced.states),
         encoding=encoding,
-        activation_probability=gated.activation_probability,
+        activation_probability=activation,
         power_before=p_before, power_after=p_after,
-        network=gated.network, baseline=baseline)
-
-
-def low_power_flow(net: Network,
-                   library: Optional[Library] = None,
-                   input_probs: Optional[Dict[str, float]] = None,
-                   params: Optional[PowerParameters] = None,
-                   num_vectors: int = 1024, seed: int = 0,
-                   use_dontcares: bool = True,
-                   use_extraction: bool = True,
-                   use_mapping: bool = True,
-                   use_sizing: bool = True,
-                   check_equivalence: bool = True) -> FlowResult:
-    """Run the combinational low-power flow on (a copy of) ``net``.
-
-    Stages: don't-care re-minimization → power-aware kernel extraction →
-    power-driven technology mapping → slack-recycling sizing.  Each
-    stage is verified against the original by random simulation.
-    """
-    from repro.logic.transform import to_sop_network
-
-    library = library or generic_library()
-    result = FlowResult()
-    original = net
-    # Enter the technology-independent SOP domain first so every stage
-    # is measured under the same capacitance model (gate and SOP nodes
-    # carry slightly different transistor-count proxies).
-    work = to_sop_network(net)
-    result.stages.append(_snapshot("initial", work, num_vectors, seed,
-                                   input_probs, params))
-
-    def verify(stage: str, candidate: Network) -> None:
-        if check_equivalence and not candidate.latches and \
-                not original.latches:
-            if not verify_equivalence(original, candidate, 256, seed):
-                raise RuntimeError(f"stage {stage!r} broke equivalence")
-
-    if use_dontcares and work.num_gates() <= 120:
-        dontcare_power_optimization(work, input_probs)
-        verify("dontcare", work)
-        result.stages.append(_snapshot("dontcare", work, num_vectors,
-                                       seed, input_probs, params))
-    if use_extraction:
-        extract_kernels(work, "power", input_probs)
-        verify("extract", work)
-        result.stages.append(_snapshot("extract", work, num_vectors,
-                                       seed, input_probs, params))
-    if use_mapping:
-        mres = tech_map(work, library, "power", seed=seed)
-        work = mres.mapped
-        verify("map", work)
-        result.stages.append(_snapshot("map", work, num_vectors, seed,
-                                       input_probs, params))
-    if use_sizing:
-        from repro.opt.circuit.sizing import critical_path_delay
-
-        activity, _ = activity_from_simulation(work, num_vectors, seed,
-                                               input_probs)
-        # Hold the unsized design's delay: sizing may only recycle slack.
-        ones = {n: 1.0 for n in work.nodes}
-        target = critical_path_delay(work, ones, params)
-        size_for_power(work, activity, delay_target=target,
-                       params=params)
-        verify("size", work)
-        result.stages.append(_snapshot("size", work, num_vectors, seed,
-                                       input_probs, params))
-    result.final = work
-    return result
+        network=gated_net, baseline=baseline, trace=trace)

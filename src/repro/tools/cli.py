@@ -5,6 +5,9 @@ Subcommands:
 * ``report <file.blif>``   — Eqn-1 power breakdown and statistics
 * ``glitch <file.blif>``   — timed vs zero-delay transition analysis
 * ``optimize <file.blif>`` — run the low-power flow, write BLIF out
+  (``--trace out.jsonl`` records the per-pass engine trace)
+* ``flow <file.blif>``     — run a declarative pass flow from a JSON
+  spec (``--spec flow.json``)
 * ``map <file.blif>``      — technology map (area/power/delay objective)
 * ``balance <file.blif>``  — path-balancing buffer insertion
 * ``bench run``            — execute the experiment suite in parallel,
@@ -30,6 +33,17 @@ def _load(path: str) -> Network:
         return read_blif(f)
 
 
+def _reject_sequential(net: Network, command: str) -> bool:
+    """The combinational commands mis-handle latches (their passes and
+    equivalence checks treat latch outputs as free inputs); refuse
+    sequential netlists uniformly instead."""
+    if net.latches:
+        print(f"error: the combinational {command} command does not "
+              f"take sequential netlists", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.power.model import average_power
 
@@ -52,6 +66,8 @@ def _cmd_glitch(args: argparse.Namespace) -> int:
     from repro.power.glitch import glitch_report
 
     net = _load(args.netlist)
+    if _reject_sequential(net, "glitch"):
+        return 1
     rep = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
     print(f"timed transitions      : {rep.total_timed}")
     print(f"zero-delay transitions : {rep.total_functional}")
@@ -60,23 +76,70 @@ def _cmd_glitch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.core.flow import low_power_flow
-
-    net = _load(args.netlist)
-    if net.latches:
-        print("error: the combinational flow does not take sequential "
-              "netlists", file=sys.stderr)
-        return 1
-    result = low_power_flow(net, num_vectors=args.vectors,
-                            seed=args.seed,
-                            use_mapping=not args.no_map,
-                            use_sizing=not args.no_size)
+def _write_flow_outputs(result, args: argparse.Namespace) -> None:
     print(result.summary())
+    if getattr(args, "trace", None):
+        result.trace.write(args.trace)
+        print(f"wrote trace {args.trace}")
     if args.output:
         with open(args.output, "w") as f:
             f.write(write_blif(result.final))
         print(f"wrote {args.output}")
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.flow import low_power_flow
+
+    net = _load(args.netlist)
+    if _reject_sequential(net, "optimize"):
+        return 1
+    try:
+        result = low_power_flow(net, num_vectors=args.vectors,
+                                seed=args.seed,
+                                use_mapping=not args.no_map,
+                                use_sizing=not args.no_size,
+                                dontcare_size_cap=args.dontcare_cap,
+                                strict=args.strict)
+    except Exception as exc:
+        print(f"error: flow failed in strict mode: {exc}",
+              file=sys.stderr)
+        return 1
+    _write_flow_outputs(result, args)
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.core.flow import run_flow
+    from repro.core.passes import load_flow_spec
+
+    try:
+        spec = load_flow_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad flow spec: {exc}", file=sys.stderr)
+        return 2
+    if args.vectors is not None:
+        spec.num_vectors = args.vectors
+    if args.seed is not None:
+        spec.seed = args.seed
+    if args.strict:
+        spec.strict = True
+    net = _load(args.netlist)
+    if _reject_sequential(net, "flow"):
+        return 1
+    try:
+        result = run_flow(net, spec)
+    except ValueError as exc:
+        # unknown pass names surface here, before anything runs
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        print(f"error: flow failed in strict mode: {exc}",
+              file=sys.stderr)
+        return 1
+    _write_flow_outputs(result, args)
+    outcomes = result.trace.outcomes()
+    print("passes    : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(outcomes.items())))
     return 0
 
 
@@ -86,6 +149,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     from repro.sim.functional import verify_equivalence
 
     net = _load(args.netlist)
+    if _reject_sequential(net, "map"):
+        return 1
     res = tech_map(net, generic_library(), args.objective,
                    seed=args.seed)
     if not verify_equivalence(net, res.mapped, 256, args.seed):
@@ -109,9 +174,12 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     from repro.power.glitch import glitch_report
 
     net = _load(args.netlist)
+    if _reject_sequential(net, "balance"):
+        return 1
     before = glitch_report(net, num_vectors=args.vectors,
                            seed=args.seed)
-    res = balance_paths(net)
+    res = balance_paths(net, selective=args.selective,
+                        max_buffers=args.max_buffers)
     after = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
     print(f"buffers added          : {res.buffers_added}")
     print(f"glitch power fraction  : {before.glitch_power_fraction:.1%}"
@@ -250,7 +318,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip technology mapping")
     p.add_argument("--no-size", action="store_true",
                    help="skip transistor sizing")
+    p.add_argument("--trace", metavar="FILE.jsonl",
+                   help="write the structured per-pass trace (JSONL)")
+    p.add_argument("--strict", action="store_true",
+                   help="abort on the first failing pass instead of "
+                   "rolling it back")
+    p.add_argument("--dontcare-cap", type=int, default=120,
+                   metavar="N", help="skip the don't-care stage above "
+                   "N gates (recorded in the trace; default 120)")
     p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("flow", help="run a declarative pass flow from "
+                       "a JSON spec")
+    p.add_argument("netlist", help="input BLIF file")
+    p.add_argument("--spec", required=True, metavar="FLOW.json",
+                   help="flow spec: pass list + per-pass params")
+    p.add_argument("--vectors", type=int, default=None,
+                   help="override the spec's simulation vectors")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the spec's seed")
+    p.add_argument("--strict", action="store_true",
+                   help="abort on the first failing pass")
+    p.add_argument("--trace", metavar="FILE.jsonl",
+                   help="write the structured per-pass trace (JSONL)")
+    p.add_argument("-o", "--output", help="write the final BLIF here")
+    p.set_defaults(func=_cmd_flow)
 
     p = sub.add_parser("map", help="technology mapping")
     common(p)
@@ -262,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("balance", help="path-balancing buffers")
     common(p)
     p.add_argument("-o", "--output", help="write balanced BLIF here")
+    p.add_argument("--selective", action="store_true",
+                   help="only pad skews whose expected glitch saving "
+                   "beats the buffer cost")
+    p.add_argument("--max-buffers", type=int, default=None,
+                   metavar="N", help="spend at most N buffers "
+                   "(largest skews first)")
     p.set_defaults(func=_cmd_balance)
 
     p = sub.add_parser("fsm", help="FSM low-power flow (minimize + "
