@@ -118,6 +118,10 @@ def bench_retiming(benchmark):
     assert lp[2] < orig[2]
     assert lp[3] < 0.5 * orig[3]
     assert lp[4] < orig[4]
-    # With glitches counted, registers on the noisy wires looked even
-    # more expensive, so the timed saving is at least as large.
-    assert lp[5] < orig[5]
+    # The flip side of C10: registers also *filter* glitches.  The
+    # low-power retiming keeps one register instead of five, so with
+    # hazards counted its glitch surcharge (timed minus zero-delay
+    # power) must exceed the original's — switching-activity savings
+    # and glitch filtering pull register placement in opposite
+    # directions.
+    assert lp[5] - lp[4] > orig[5] - orig[4]

@@ -93,17 +93,22 @@ class Network:
         self.outputs: List[str] = []
         self.latches: List[Latch] = []
         self._topo_cache: Optional[List[str]] = None
-        #: compiled evaluation program (repro.sim.compiled); opaque here
-        #: to avoid a layering cycle.  Cleared by every structural
-        #: mutation hook and re-validated against a structural
-        #: fingerprint on use, so stale programs are never evaluated.
+        self._fanout_cache: Optional[Dict[str, List[str]]] = None
+        #: compiled evaluation programs (repro.sim.compiled /
+        #: repro.sim.timed); opaque here to avoid a layering cycle.
+        #: Cleared by every structural mutation hook and re-validated
+        #: against a structural fingerprint on use, so stale programs
+        #: are never evaluated.
         self._compiled: Optional[object] = None
+        self._timed: Optional[object] = None
 
     # -- construction ---------------------------------------------------
 
     def _invalidate(self) -> None:
         self._topo_cache = None
+        self._fanout_cache = None
         self._compiled = None
+        self._timed = None
 
     def _check_new(self, name: str) -> None:
         if name in self.nodes:
@@ -177,7 +182,14 @@ class Network:
         raise NetlistError(f"no latch with output {name!r}")
 
     def fanouts(self) -> Dict[str, List[str]]:
-        """Map node name -> names of nodes reading it (latch data counts)."""
+        """Map node name -> names of nodes reading it (latch data counts).
+
+        The map is cached until the next structural mutation (the
+        event-driven simulator reads it per construction); treat the
+        returned dict as read-only.
+        """
+        if self._fanout_cache is not None:
+            return self._fanout_cache
         fo: Dict[str, List[str]] = {n: [] for n in self.nodes}
         for node in self.nodes.values():
             for fi in node.fanins:
@@ -186,6 +198,7 @@ class Network:
             fo[latch.data].append(latch.output)
             if latch.enable is not None:
                 fo[latch.enable].append(latch.output)
+        self._fanout_cache = fo
         return fo
 
     def fanout_count(self, name: str) -> int:

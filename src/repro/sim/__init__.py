@@ -1,4 +1,4 @@
-"""Gate-level simulation: stimulus, zero-delay and event-driven timing."""
+"""Gate-level simulation: stimulus, zero-delay and timed engines."""
 
 from repro.sim.vectors import random_words, words_from_vectors, \
     vectors_from_words, random_bus_stream, counter_bus_stream
@@ -6,11 +6,17 @@ from repro.sim.functional import simulate_transitions, \
     sequential_transitions
 from repro.sim.compiled import (CompiledNetwork, compile_network,
                                 get_compiled, structural_fingerprint)
-from repro.sim.event import EventSimulator, timed_transitions
+from repro.sim.event import (EventSimulator, timed_transitions,
+                             timed_sequential_transitions)
+from repro.sim.timed import (CompiledTimedNetwork, get_timed,
+                             timed_transitions_from_words)
 
 __all__ = ["random_words", "words_from_vectors", "vectors_from_words",
            "random_bus_stream", "counter_bus_stream",
            "simulate_transitions", "sequential_transitions",
            "CompiledNetwork", "compile_network", "get_compiled",
            "structural_fingerprint",
-           "EventSimulator", "timed_transitions"]
+           "EventSimulator", "timed_transitions",
+           "timed_sequential_transitions",
+           "CompiledTimedNetwork", "get_timed",
+           "timed_transitions_from_words"]

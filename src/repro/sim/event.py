@@ -4,6 +4,22 @@ Counts *every* output transition of every node, including the spurious
 transitions ("glitches") that settle before the clock edge.  Comparing
 these counts with the zero-delay counts of ``repro.sim.functional``
 reproduces the 10–40% glitch-power claim of Section III-A.2.
+
+Two engines implement the same semantics:
+
+* :class:`EventSimulator` — the reference oracle: one heap of
+  ``(time, node)`` events, one bit per vector.  Every node evaluated
+  at time *t* sees its fanin values as of *t⁻* — simultaneous events
+  are mutually invisible, and zero-delay propagation re-triggers
+  within the timestamp (delta cycles, as in VHDL).  That makes the
+  result a canonical function of the network, the delays and the
+  stimulus — independent of heap insertion order — and it preserves
+  the static-hazard pulses that path balancing exists to remove.
+* ``repro.sim.timed`` — a compiled, word-parallel engine that buckets
+  the same schedule onto a time wheel and evaluates 64 stimulus
+  transitions per machine word.  Bit-identical per-node counts, much
+  faster; the default for :func:`timed_transitions` and
+  :func:`timed_sequential_transitions`.
 """
 
 from __future__ import annotations
@@ -14,6 +30,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.logic.gates import eval_gate
 from repro.logic.netlist import Network
 
+#: engine selector values accepted by the timed entry points
+ENGINES = ("compiled", "event")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown timed engine {engine!r}; expected one of {ENGINES}")
+
 
 class EventSimulator:
     """Transport-delay event-driven simulator for combinational networks.
@@ -21,13 +46,23 @@ class EventSimulator:
     Delays come from, in priority order: the ``delays`` constructor map,
     each node's ``attrs["delay"]``, then the 1.0 default.  BUF gates added
     by path balancing carry unit delay like any other gate.
+
+    Simultaneous events (equal timestamps — the common case under
+    uniform delays) are evaluated in *reverse* topological order, so a
+    node re-evaluated at time *t* sees the *t⁻* (pre-timestamp) values
+    of all its fanins; a zero-delay reader of a time-*t* change
+    re-evaluates within the same timestamp (a delta cycle).  This
+    canonical tie-break — pure transport-delay semantics, under which
+    simultaneous arrivals still expose static hazards — is what the
+    compiled engine (``repro.sim.timed``) reproduces word-parallel.
     """
 
     def __init__(self, net: Network,
                  delays: Optional[Dict[str, float]] = None):
         self.net = net
-        self.order = net.topo_order()
-        self.fanouts = net.fanouts()
+        self.order = net.topo_order()       # cached on the network
+        self.fanouts = net.fanouts()        # cached on the network
+        self._topo_index = {name: i for i, name in enumerate(self.order)}
         self.delays: Dict[str, float] = {}
         for name in self.order:
             node = net.nodes[name]
@@ -71,7 +106,7 @@ class EventSimulator:
             return 0.0
 
         heap: List[Tuple[float, int, str]] = []
-        seq = 0
+        topo = self._topo_index
         changed_sources = []
         for name, node in self.net.nodes.items():
             if not node.is_source():
@@ -85,11 +120,11 @@ class EventSimulator:
         for src in changed_sources:
             for fo in self.fanouts[src]:
                 if not self.net.nodes[fo].is_source():
-                    heapq.heappush(heap, (self.delays[fo], seq, fo))
-                    seq += 1
+                    heapq.heappush(heap,
+                                   (self.delays[fo], -topo[fo], fo))
         last_time = 0.0
         while heap:
-            t, _s, name = heapq.heappop(heap)
+            t, _k, name = heapq.heappop(heap)
             new = self._evaluate_node(name)
             if new == self.values[name]:
                 continue
@@ -99,8 +134,8 @@ class EventSimulator:
             last_time = max(last_time, t)
             for fo in self.fanouts[name]:
                 if not self.net.nodes[fo].is_source():
-                    heapq.heappush(heap, (t + self.delays[fo], seq, fo))
-                    seq += 1
+                    heapq.heappush(heap,
+                                   (t + self.delays[fo], -topo[fo], fo))
         return last_time
 
     def run(self, vectors: Sequence[Dict[str, int]]) -> Dict[str, int]:
@@ -139,9 +174,20 @@ class EventSimulator:
 
 
 def timed_transitions(net: Network, vectors: Sequence[Dict[str, int]],
-                      delays: Optional[Dict[str, float]] = None
-                      ) -> Dict[str, int]:
-    """Per-node transition counts of an event-driven run over ``vectors``."""
+                      delays: Optional[Dict[str, float]] = None,
+                      engine: str = "compiled") -> Dict[str, int]:
+    """Per-node transition counts of a timed run over ``vectors``.
+
+    ``engine="compiled"`` (default) uses the word-parallel time-wheel
+    engine of ``repro.sim.timed``; ``engine="event"`` runs the
+    event-driven oracle.  Both return bit-identical counts.
+    """
+    _check_engine(engine)
+    if engine == "compiled":
+        from repro.sim.timed import get_timed
+
+        words, count = _vectors_to_words(net, vectors)
+        return get_timed(net, delays).transition_counts(words, count)
     sim = EventSimulator(net, delays=delays)
     return sim.run(vectors)
 
@@ -149,8 +195,45 @@ def timed_transitions(net: Network, vectors: Sequence[Dict[str, int]],
 def timed_sequential_transitions(net: Network,
                                  vectors: Sequence[Dict[str, int]],
                                  delays: Optional[Dict[str, float]]
-                                 = None) -> Dict[str, int]:
+                                 = None,
+                                 engine: str = "compiled"
+                                 ) -> Dict[str, int]:
     """Clocked timed transition counts (glitches included) of a
-    sequential network; see :meth:`EventSimulator.run_sequential`."""
+    sequential network; see :meth:`EventSimulator.run_sequential`.
+    ``engine`` selects the word-parallel compiled engine (default) or
+    the event-driven oracle."""
+    _check_engine(engine)
+    if engine == "compiled":
+        from repro.sim.timed import get_timed
+
+        return get_timed(net, delays).sequential_transition_counts(
+            vectors)
     sim = EventSimulator(net, delays=delays)
     return sim.run_sequential(vectors)
+
+
+def _vectors_to_words(net: Network, vectors: Sequence[Dict[str, int]]
+                      ) -> Tuple[Dict[str, int], int]:
+    """Pack a scalar vector sequence into complete per-source words.
+
+    Replicates the event simulator's hold semantics: a source missing
+    from a vector keeps its previous value (inputs start at 0, latch
+    outputs at their init value).
+    """
+    words: Dict[str, int] = {}
+    cur: Dict[str, int] = {}
+    sources = [n.name for n in net.nodes.values() if n.is_source()]
+    for name in sources:
+        if net.nodes[name].kind == "latch":
+            cur[name] = net.latch_for_output(name).init & 1
+        else:
+            cur[name] = 0
+        words[name] = 0
+    for k, vec in enumerate(vectors):
+        for name in sources:
+            v = vec.get(name)
+            if v is not None:
+                cur[name] = v & 1
+            if cur[name]:
+                words[name] |= 1 << k
+    return words, len(vectors)

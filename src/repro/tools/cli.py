@@ -62,13 +62,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_delays(path: Optional[str]):
+    """Read a ``{"node": delay}`` JSON map for the timed simulators."""
+    if path is None:
+        return None
+    import json
+
+    with open(path) as f:
+        raw = json.load(f)
+    if not isinstance(raw, dict):
+        raise ValueError("delay file must hold a JSON object "
+                         "{node: delay}")
+    return {str(k): float(v) for k, v in raw.items()}
+
+
 def _cmd_glitch(args: argparse.Namespace) -> int:
     from repro.power.glitch import glitch_report
 
     net = _load(args.netlist)
     if _reject_sequential(net, "glitch"):
         return 1
-    rep = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
+    try:
+        delays = _load_delays(args.delays)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad --delays file: {exc}", file=sys.stderr)
+        return 2
+    rep = glitch_report(net, num_vectors=args.vectors, seed=args.seed,
+                        delays=delays, engine=args.engine)
+    print(f"engine                 : {args.engine}")
     print(f"timed transitions      : {rep.total_timed}")
     print(f"zero-delay transitions : {rep.total_functional}")
     print(f"glitch fraction        : {rep.glitch_fraction:.1%}")
@@ -176,11 +197,19 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     net = _load(args.netlist)
     if _reject_sequential(net, "balance"):
         return 1
-    before = glitch_report(net, num_vectors=args.vectors,
-                           seed=args.seed)
+
+    def report(version):
+        # One glitch_report per network version; its zero-delay and
+        # timed runs share the one compiled program cached on the
+        # network, so each version is compiled (and its simulator
+        # built) exactly once — not once per simulation mode.
+        return glitch_report(version, num_vectors=args.vectors,
+                             seed=args.seed, engine=args.engine)
+
+    before = report(net)
     res = balance_paths(net, selective=args.selective,
                         max_buffers=args.max_buffers)
-    after = glitch_report(net, num_vectors=args.vectors, seed=args.seed)
+    after = report(net)
     print(f"buffers added          : {res.buffers_added}")
     print(f"glitch power fraction  : {before.glitch_power_fraction:.1%}"
           f" -> {after.glitch_power_fraction:.1%}")
@@ -309,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("glitch", help="spurious-transition analysis")
     common(p)
+    p.add_argument("--engine", choices=("compiled", "event"),
+                   default="compiled",
+                   help="timed simulator: word-parallel compiled "
+                   "engine (default) or the event-driven oracle")
+    p.add_argument("--delays", metavar="FILE.json",
+                   help="per-node transport delays as a JSON object "
+                   "{node: delay}; unlisted nodes keep attrs/1.0")
     p.set_defaults(func=_cmd_glitch)
 
     p = sub.add_parser("optimize", help="run the low-power flow")
@@ -353,6 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("balance", help="path-balancing buffers")
     common(p)
+    p.add_argument("--engine", choices=("compiled", "event"),
+                   default="compiled",
+                   help="timed simulator for the before/after glitch "
+                   "comparison (default: compiled)")
     p.add_argument("-o", "--output", help="write balanced BLIF here")
     p.add_argument("--selective", action="store_true",
                    help="only pad skews whose expected glitch saving "
