@@ -1,0 +1,34 @@
+"""Static analysis of Boolean networks: structural + power linting.
+
+This package turns the crash-or-wrong-number failure modes of the
+optimization flows into actionable diagnostics.  It provides
+
+* :class:`~repro.analysis.diagnostics.Diagnostic` — one structured
+  finding (rule id, severity, node/net site, message, fix hint) with
+  JSON, SARIF and text renderings;
+* a rule registry (:mod:`repro.analysis.linter`) of **structural**
+  rules — combinational cycles via Tarjan SCC, undriven/dangling nets,
+  unreachable cones, duplicate latch outputs, invalid SOP covers,
+  malformed delay annotations — and **power** rules grounded in the
+  survey — single-input-change static hazards (C2), reconvergent
+  fanout regions that break the independence assumption of the
+  probabilistic activity estimator, zero-delay hot-net ranking, and
+  C11 gating-safety of latch enables;
+* :func:`check_invariants` — the fast structural-error subset used by
+  the pass manager (``PassContext.lint``) to assert legality pre/post
+  every flow stage;
+* emitters for the ``repro lint`` CLI (``--format json|sarif|text``).
+"""
+
+from repro.analysis.diagnostics import (ERROR, INFO, SEVERITIES,
+                                        WARNING, Diagnostic,
+                                        LintReport)
+from repro.analysis.linter import (LintConfig, Linter, Rule,
+                                   all_rules, check_invariants,
+                                   lint_network, select_rules)
+
+__all__ = [
+    "Diagnostic", "LintReport", "SEVERITIES", "ERROR", "WARNING",
+    "INFO", "Rule", "LintConfig", "Linter", "all_rules",
+    "select_rules", "lint_network", "check_invariants",
+]

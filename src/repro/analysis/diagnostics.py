@@ -1,0 +1,143 @@
+"""Structured lint diagnostics and their renderings.
+
+A :class:`Diagnostic` is one finding of one rule at one site (a node
+or net name).  A :class:`LintReport` is the ordered collection a
+:class:`~repro.analysis.linter.Linter` run produces; it renders to
+plain text, JSON, and SARIF 2.1.0 (via :mod:`repro.analysis.sarif`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: All severities, most severe first.  Order is the sort / filter rank.
+SEVERITIES: Tuple[str, str, str] = (ERROR, WARNING, INFO)
+
+_RANK: Dict[str, int] = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Rank of a severity (0 = most severe); unknown ranks last."""
+    return _RANK.get(severity, len(SEVERITIES))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of a lint rule.
+
+    ``site`` names the node/net the finding anchors to; ``detail``
+    carries optional machine-readable context (e.g. the cycle path or
+    the hazard variable) that the emitters pass through verbatim.
+    """
+
+    rule: str
+    severity: str
+    site: str
+    message: str
+    hint: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict, hash=False,
+                                   compare=False)
+
+    def to_json(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"rule": self.rule,
+                             "severity": self.severity,
+                             "site": self.site,
+                             "message": self.message}
+        if self.hint:
+            d["hint"] = self.hint
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+    def render(self) -> str:
+        text = f"{self.severity:7s} {self.rule:20s} {self.site}: " \
+               f"{self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+def sort_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic order: severity, then rule id, then site."""
+    return sorted(diags, key=lambda d: (severity_rank(d.severity),
+                                        d.rule, d.site, d.message))
+
+
+@dataclass
+class LintReport:
+    """Everything one linter run found on one network."""
+
+    network: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: rules that were selected but could not run (e.g. a DAG-only
+    #: rule on a cyclic network), with the reason.
+    skipped_rules: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostic count per rule id."""
+        out: Dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.rule] = out.get(d.rule, 0) + 1
+        return out
+
+    def severity_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {s: 0 for s in SEVERITIES}
+        for d in self.diagnostics:
+            out[d.severity] = out.get(d.severity, 0) + 1
+        return out
+
+    def at_least(self, severity: str) -> List[Diagnostic]:
+        """Diagnostics at or above ``severity`` (error > warning > info)."""
+        cutoff = severity_rank(severity)
+        return [d for d in self.diagnostics
+                if severity_rank(d.severity) <= cutoff]
+
+    # -- emitters ------------------------------------------------------
+
+    def to_text(self, min_severity: str = INFO) -> str:
+        lines = [d.render() for d in self.at_least(min_severity)]
+        sev = self.severity_counts()
+        lines.append(f"{self.network}: {sev[ERROR]} error(s), "
+                     f"{sev[WARNING]} warning(s), {sev[INFO]} info")
+        for rule, reason in self.skipped_rules:
+            lines.append(f"note: rule {rule} skipped ({reason})")
+        return "\n".join(lines)
+
+    def to_json_obj(self, min_severity: str = INFO) -> Dict[str, Any]:
+        return {
+            "network": self.network,
+            "diagnostics": [d.to_json()
+                            for d in self.at_least(min_severity)],
+            "counts": self.counts(),
+            "severities": self.severity_counts(),
+            "skipped_rules": [{"rule": r, "reason": why}
+                              for r, why in self.skipped_rules],
+        }
+
+    def to_json(self, min_severity: str = INFO,
+                indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_json_obj(min_severity),
+                          indent=indent, sort_keys=True)
+
+    def to_sarif(self, min_severity: str = INFO,
+                 indent: Optional[int] = 2) -> str:
+        from repro.analysis.linter import all_rules
+        from repro.analysis.sarif import sarif_report
+
+        obj = sarif_report(self.at_least(min_severity), all_rules(),
+                           artifact=self.network)
+        return json.dumps(obj, indent=indent, sort_keys=True)

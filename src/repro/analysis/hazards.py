@@ -1,0 +1,94 @@
+"""Single-input-change (SIC) static-hazard analysis of SOP covers.
+
+The survey's C2 claim — 10–40 % of transitions in typical
+combinational logic are spurious — rests on statically detectable
+hazard topologies.  For a two-level AND-OR realisation of a cover the
+classical Eichelberger condition applies: the node has a *static-1
+hazard* under a single input change in variable ``v`` iff there exist
+two adjacent minterms (differing only in ``v``), both in the ON-set,
+that no single product term covers.  Cube-level, that is
+
+    (F cofactor v=1) AND (F cofactor v=0)  not contained in  G_v
+
+where ``G_v`` is the sub-cover of cubes independent of ``v``.  Only
+binate variables can violate it (for a variable appearing in one
+phase, the both-ON region *is* covered by the v-free cubes), so unate
+covers — AND, OR, NAND, NOR, MAJ gate covers — are hazard-free, the
+XOR ON-set has no adjacent minterm pairs at all, and the classical
+offender is the MUX (``sel``'s consensus term is absent).
+
+Two-level AND-OR logic has no SIC static-0 or dynamic hazards, so
+this check is complete for the node-local hazard question.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.logic.netlist import Network, Node
+from repro.logic.sop import Cover
+from repro.logic.transform import node_cover
+
+#: Nodes with more fanins than this are skipped (the unate-recursive
+#: containment check is exponential in the worst case).
+DEFAULT_MAX_VARS = 12
+
+
+def hazard_variables(cover: Cover,
+                     max_vars: int = DEFAULT_MAX_VARS
+                     ) -> Optional[List[int]]:
+    """Variables whose single-input change can produce a static-1
+    hazard, or ``None`` when the cover is too wide to analyse."""
+    n = cover.num_vars
+    if n > max_vars:
+        return None
+    pos = 0
+    neg = 0
+    for cube in cover.cubes:
+        pos |= cube.mask & cube.value
+        neg |= cube.mask & ~cube.value
+    binate = pos & neg
+    out: List[int] = []
+    for v in range(n):
+        if not (binate >> v) & 1:
+            continue
+        hi = cover.cofactor_literal(v, 1)
+        lo = cover.cofactor_literal(v, 0)
+        both_on = hi.intersect(lo)
+        if both_on.is_empty():
+            continue
+        v_free = Cover(n, [c for c in cover.cubes
+                           if not (c.mask >> v) & 1])
+        if not v_free.contains_cover(both_on):
+            out.append(v)
+    return out
+
+
+def node_hazard_variables(node: Node,
+                          max_vars: int = DEFAULT_MAX_VARS
+                          ) -> Optional[List[int]]:
+    """Hazard-prone fanin indices of a gate/SOP node (sources: none)."""
+    if node.is_source():
+        return []
+    return hazard_variables(node_cover(node), max_vars)
+
+
+def cone_nodes(net: Network, root: str) -> List[str]:
+    """Combinational transitive-fanin cone of ``root`` (inclusive),
+    stopping at sources.  Deterministic (DFS) order."""
+    seen: List[str] = []
+    seen_set: Set[str] = set()
+    work = [root]
+    while work:
+        name = work.pop()
+        if name in seen_set or name not in net.nodes:
+            continue
+        seen_set.add(name)
+        seen.append(name)
+        node = net.nodes[name]
+        if node.is_source():
+            continue
+        for fi in reversed(node.fanins):
+            if fi not in seen_set:
+                work.append(fi)
+    return seen

@@ -1,0 +1,81 @@
+"""Minimal SARIF 2.1.0 emitter for lint diagnostics.
+
+Netlist findings have no file/line locations; sites are emitted as
+SARIF *logical locations* (the node/net name) so SARIF-aware viewers
+still group and filter by rule and site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: diagnostic severity -> SARIF result level
+SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def sarif_report(diagnostics: Sequence[Diagnostic],
+                 rules: Sequence[Any],
+                 artifact: str = "network",
+                 tool_name: str = "repro-lint") -> Dict[str, Any]:
+    """Build a SARIF log object (one run) from diagnostics.
+
+    ``rules`` is the rule catalog (objects with ``id``, ``severity``
+    and ``description`` attributes) used to populate the tool-driver
+    rule metadata.
+    """
+    rule_ids = sorted({d.rule for d in diagnostics})
+    catalog = {r.id: r for r in rules}
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rule_objs: List[Dict[str, Any]] = []
+    for rid in rule_ids:
+        entry: Dict[str, Any] = {"id": rid}
+        meta = catalog.get(rid)
+        if meta is not None:
+            entry["shortDescription"] = {"text": meta.description}
+            entry["defaultConfiguration"] = {
+                "level": SARIF_LEVEL.get(meta.severity, "warning")}
+        rule_objs.append(entry)
+
+    results: List[Dict[str, Any]] = []
+    for d in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": d.rule,
+            "ruleIndex": rule_index[d.rule],
+            "level": SARIF_LEVEL.get(d.severity, "warning"),
+            "message": {"text": d.message},
+            "locations": [{
+                "logicalLocations": [{
+                    "name": d.site,
+                    "fullyQualifiedName": f"{artifact}::{d.site}",
+                    "kind": "member",
+                }],
+            }],
+        }
+        properties: Dict[str, Any] = {}
+        if d.hint:
+            properties["hint"] = d.hint
+        if d.detail:
+            properties["detail"] = d.detail
+        if properties:
+            result["properties"] = properties
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://github.com/repro/low-power-vlsi",
+                "rules": rule_objs,
+            }},
+            "results": results,
+        }],
+    }

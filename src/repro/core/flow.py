@@ -135,7 +135,8 @@ def low_power_flow(net: Network,
                    use_sizing: bool = True,
                    check_equivalence: bool = True,
                    dontcare_size_cap: Optional[int] = 120,
-                   strict: bool = False) -> FlowResult:
+                   strict: bool = False,
+                   strict_lint: bool = False) -> FlowResult:
     """Run the combinational low-power flow on (a copy of) ``net``.
 
     Stages: don't-care re-minimization → power-aware kernel extraction
@@ -146,13 +147,16 @@ def low_power_flow(net: Network,
     it raises or breaks equivalence.  ``dontcare_size_cap`` skips the
     (expensive) don't-care stage above that many gates, recording the
     skip; ``None`` removes the cap.  ``strict=True`` re-raises stage
-    failures instead of rolling back.
+    failures instead of rolling back.  ``strict_lint=True`` runs the
+    structural invariant linter on every candidate network and rolls
+    back stages that break an invariant (trace reason ``lint``).
     """
     library = library or generic_library()
     ctx = PassContext(original=net, library=library,
                       input_probs=input_probs, params=params,
                       num_vectors=num_vectors, seed=seed,
-                      check_equivalence=check_equivalence)
+                      check_equivalence=check_equivalence,
+                      lint=strict_lint)
     passes = _default_passes(use_dontcares, use_extraction,
                              use_mapping, use_sizing,
                              dontcare_size_cap)
@@ -167,7 +171,8 @@ def run_flow(net: Network, spec, library: Optional[Library] = None,
     ctx = PassContext(original=net, library=library,
                       input_probs=input_probs, params=params,
                       num_vectors=spec.num_vectors, seed=spec.seed,
-                      check_equivalence=spec.check_equivalence)
+                      check_equivalence=spec.check_equivalence,
+                      lint=spec.strict_lint)
     return _run_engine(net, spec.build(), ctx, spec.name, spec.strict)
 
 

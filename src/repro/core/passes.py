@@ -74,6 +74,8 @@ class PassContext:
     num_vectors: int = 1024
     seed: int = 0
     check_equivalence: bool = True
+    #: run the structural invariant linter on every candidate network
+    lint: bool = False
 
     @property
     def verify_vectors(self) -> int:
@@ -165,6 +167,10 @@ class TraceRecord:
     depth_before: Optional[float] = None
     depth_after: Optional[float] = None
     verify_vectors: int = 0      # 0: equivalence was not checked
+    #: invariant-lint error count on the candidate (None: lint off)
+    lint_errors: Optional[int] = None
+    #: the offending diagnostics (JSON form) when lint_errors > 0
+    lint: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, Any]:
         d = asdict(self)
@@ -306,6 +312,12 @@ def run_network_passes(net: Network, passes: Sequence[Pass],
     trace = trace if trace is not None else FlowTrace(
         num_vectors=ctx.num_vectors, seed=ctx.seed, strict=strict)
     work = net
+    if ctx.lint:
+        entry_errors = _lint_errors(work)
+        if entry_errors:
+            raise FlowError(
+                "input network fails invariant lint: "
+                + "; ".join(d.render() for d in entry_errors[:3]))
     current = initial if initial is not None else measure(work, ctx)
     outcomes: List[StageOutcome] = []
 
@@ -344,6 +356,16 @@ def run_network_passes(net: Network, passes: Sequence[Pass],
                     raise _EquivalenceBreak(
                         f"stage {p.name!r} broke equivalence")
 
+            if ctx.lint:
+                errors = _lint_errors(candidate)
+                rec.lint_errors = len(errors)
+                if errors:
+                    rec.lint = [d.to_json() for d in errors]
+                    raise _LintBreak(
+                        f"stage {p.name!r} broke a structural "
+                        f"invariant: "
+                        + "; ".join(d.render() for d in errors[:3]))
+
             after = measure(candidate, ctx)
             rec.power_after = after.report.total
             rec.gates_after = after.gates
@@ -368,6 +390,15 @@ def run_network_passes(net: Network, passes: Sequence[Pass],
             outcomes.append(StageOutcome(rec, current))
             if strict:
                 raise RuntimeError(str(exc)) from None
+            continue
+        except _LintBreak as exc:
+            rec.outcome = ROLLED_BACK
+            rec.reason = "lint"
+            rec.wall_s = time.perf_counter() - start
+            trace.add(rec)
+            outcomes.append(StageOutcome(rec, current))
+            if strict:
+                raise FlowError(str(exc)) from None
             continue
         except _PowerRegression as exc:
             rec.outcome = ROLLED_BACK
@@ -408,6 +439,16 @@ class _EquivalenceBreak(Exception):
 
 class _PowerRegression(Exception):
     pass
+
+
+class _LintBreak(Exception):
+    pass
+
+
+def _lint_errors(net: Network):
+    """Error-severity invariant diagnostics (lazy analysis import)."""
+    from repro.analysis import check_invariants
+    return check_invariants(net)
 
 
 class StageRunner:
@@ -467,6 +508,8 @@ class FlowSpec:
     seed: int = 0
     strict: bool = False
     check_equivalence: bool = True
+    #: invariant-lint every candidate network (see PassContext.lint)
+    strict_lint: bool = False
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "FlowSpec":
@@ -496,13 +539,15 @@ class FlowSpec:
                    seed=int(d.get("seed", 0)),
                    strict=bool(d.get("strict", False)),
                    check_equivalence=bool(
-                       d.get("check_equivalence", True)))
+                       d.get("check_equivalence", True)),
+                   strict_lint=bool(d.get("strict_lint", False)))
 
     def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name,
                 "num_vectors": self.num_vectors, "seed": self.seed,
                 "strict": self.strict,
                 "check_equivalence": self.check_equivalence,
+                "strict_lint": self.strict_lint,
                 "passes": [{"pass": n, "params": p}
                            for n, p in self.passes]}
 

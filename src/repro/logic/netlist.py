@@ -212,8 +212,31 @@ class Network:
             count += 1
         return count
 
+    def _cycle_error(self, through: str) -> NetlistError:
+        """Build the cycle diagnostic for :meth:`topo_order`.
+
+        Extracts one concrete cycle with the analyzer's SCC machinery
+        so the error names the full path instead of a single node.
+        """
+        from repro.analysis.graph import cycle_path
+
+        adj = {n.name: ([] if n.is_source() else
+                        [fi for fi in n.fanins if fi in self.nodes])
+               for n in self.nodes.values()}
+        path = cycle_path(adj)
+        if path is None:  # pragma: no cover - detection just saw one
+            return NetlistError(
+                f"combinational cycle through {through!r}")
+        return NetlistError(
+            "combinational cycle: " + " -> ".join(path))
+
     def topo_order(self) -> List[str]:
-        """Topological order of all nodes (sources first)."""
+        """Topological order of all nodes (sources first).
+
+        Raises :class:`NetlistError` naming the offending cycle path
+        (``combinational cycle: a -> b -> a``) on cyclic networks, and
+        the missing node on dangling references.
+        """
         if self._topo_cache is not None:
             return self._topo_cache
         order: List[str] = []
@@ -243,8 +266,7 @@ class Network:
                     fi = node.fanins[idx]
                     st = state.get(fi, 0)
                     if st == 1:
-                        raise NetlistError(
-                            f"combinational cycle through {fi!r}")
+                        raise self._cycle_error(fi)
                     if st == 0:
                         stack.append((fi, 0))
                 else:
@@ -378,7 +400,12 @@ class Network:
                 latch.data = new
             if latch.enable == old:
                 latch.enable = new
-        self.outputs = [new if o == old else o for o in self.outputs]
+        # Dedup while renaming: with both old and new already listed,
+        # a plain rename would leave the output twice.
+        renamed = [new if o == old else o for o in self.outputs]
+        seen = set()
+        self.outputs = [o for o in renamed
+                        if not (o in seen or seen.add(o))]
         self._invalidate()
 
     def insert_buffer(self, reader: str, fanin: str,

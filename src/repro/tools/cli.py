@@ -4,8 +4,12 @@ Subcommands:
 
 * ``report <file.blif>``   — Eqn-1 power breakdown and statistics
 * ``glitch <file.blif>``   — timed vs zero-delay transition analysis
+* ``lint <file.blif>``     — structural + power static analysis
+  (``--rules``, ``--severity``, ``--format json|sarif|text``; exit 1
+  when any error-severity diagnostic fires)
 * ``optimize <file.blif>`` — run the low-power flow, write BLIF out
-  (``--trace out.jsonl`` records the per-pass engine trace)
+  (``--trace out.jsonl`` records the per-pass engine trace;
+  ``--strict-lint`` invariant-lints every candidate)
 * ``flow <file.blif>``     — run a declarative pass flow from a JSON
   spec (``--spec flow.json``)
 * ``map <file.blif>``      — technology map (area/power/delay objective)
@@ -25,12 +29,12 @@ import sys
 from typing import List, Optional
 
 from repro.logic.blif import read_blif, write_blif
-from repro.logic.netlist import Network
+from repro.logic.netlist import NetlistError, Network
 
 
-def _load(path: str) -> Network:
+def _load(path: str, check: bool = True) -> Network:
     with open(path) as f:
-        return read_blif(f)
+        return read_blif(f, check=check)
 
 
 def _reject_sequential(net: Network, command: str) -> bool:
@@ -108,6 +112,34 @@ def _write_flow_outputs(result, args: argparse.Namespace) -> None:
         print(f"wrote {args.output}")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintConfig, Linter, select_rules
+
+    try:
+        rules = select_rules(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # check=False: the linter is the validator here — a broken
+        # netlist must load so its defects can be reported as
+        # diagnostics rather than a parse abort.
+        net = _load(args.netlist, check=False)
+    except (OSError, NetlistError) as exc:
+        print(f"error: cannot read {args.netlist}: {exc}",
+              file=sys.stderr)
+        return 2
+    config = LintConfig(hot_net_top=args.hot_nets)
+    report = Linter(rules=rules, config=config).run(net)
+    if args.format == "json":
+        print(report.to_json(min_severity=args.severity))
+    elif args.format == "sarif":
+        print(report.to_sarif(min_severity=args.severity))
+    else:
+        print(report.to_text(min_severity=args.severity))
+    return 1 if report.has_errors else 0
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.core.flow import low_power_flow
 
@@ -120,7 +152,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                                 use_mapping=not args.no_map,
                                 use_sizing=not args.no_size,
                                 dontcare_size_cap=args.dontcare_cap,
-                                strict=args.strict)
+                                strict=args.strict,
+                                strict_lint=args.strict_lint)
     except Exception as exc:
         print(f"error: flow failed in strict mode: {exc}",
               file=sys.stderr)
@@ -144,6 +177,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         spec.seed = args.seed
     if args.strict:
         spec.strict = True
+    if args.strict_lint:
+        spec.strict_lint = True
     net = _load(args.netlist)
     if _reject_sequential(net, "flow"):
         return 1
@@ -347,6 +382,24 @@ def build_parser() -> argparse.ArgumentParser:
                    "{node: delay}; unlisted nodes keep attrs/1.0")
     p.set_defaults(func=_cmd_glitch)
 
+    p = sub.add_parser("lint", help="structural + power static "
+                       "analysis of a netlist")
+    p.add_argument("netlist", help="input BLIF file (loaded "
+                   "unvalidated: defects become diagnostics)")
+    p.add_argument("--rules", default=None, metavar="ID,ID,...",
+                   help="comma-separated rule ids to run "
+                   "(default: the full catalog)")
+    p.add_argument("--severity", choices=("error", "warning", "info"),
+                   default="info",
+                   help="report only findings at or above this "
+                   "severity (default info: everything)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--hot-nets", type=int, default=5, metavar="N",
+                   help="how many nets the hot-net ranking reports "
+                   "(default 5)")
+    p.set_defaults(func=_cmd_lint)
+
     p = sub.add_parser("optimize", help="run the low-power flow")
     common(p)
     p.add_argument("-o", "--output", help="write optimized BLIF here")
@@ -359,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="abort on the first failing pass instead of "
                    "rolling it back")
+    p.add_argument("--strict-lint", action="store_true",
+                   help="invariant-lint every candidate network; "
+                   "passes that break an invariant roll back")
     p.add_argument("--dontcare-cap", type=int, default=120,
                    metavar="N", help="skip the don't-care stage above "
                    "N gates (recorded in the trace; default 120)")
@@ -375,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the spec's seed")
     p.add_argument("--strict", action="store_true",
                    help="abort on the first failing pass")
+    p.add_argument("--strict-lint", action="store_true",
+                   help="invariant-lint every candidate network; "
+                   "passes that break an invariant roll back")
     p.add_argument("--trace", metavar="FILE.jsonl",
                    help="write the structured per-pass trace (JSONL)")
     p.add_argument("-o", "--output", help="write the final BLIF here")

@@ -62,11 +62,12 @@ def suite_dir(tmp_path):
 def test_discover_real_suite():
     specs = discover()
     names = [s.name for s in specs]
-    assert len(specs) == 23
+    assert len(specs) == 24
     assert "power_breakdown" in names
     assert "compiled_sim" in names
     assert "flow_engine" in names
     assert "timed_sim" in names
+    assert "lint" in names
     assert all(s.has_run for s in specs)
     index = claims_index(specs)
     # Every paper claim C1..C15 is reproduced by exactly one bench.

@@ -94,3 +94,61 @@ class TestRoundTrip:
         back = read_blif(write_blif(net))
         assert back.latches[0].init == 1
         assert back.latches[0].data == "d"
+
+
+class TestHardenedErrors:
+    def test_duplicate_definition_names_both_lines(self):
+        text = (".model t\n.inputs a\n.outputs f\n"
+                ".names a f\n1 1\n.names a f\n0 1\n.end\n")
+        with pytest.raises(BlifError,
+                           match=r"line 6: 'f' already defined at "
+                                 r"line 4"):
+            read_blif(text)
+
+    def test_duplicate_input(self):
+        with pytest.raises(BlifError, match="already defined"):
+            read_blif(".model t\n.inputs a a\n.end\n")
+
+    def test_undefined_fanin_has_line(self):
+        text = (".model t\n.inputs a\n.outputs f\n"
+                ".names a ghost f\n11 1\n.end\n")
+        with pytest.raises(BlifError,
+                           match=r"line 4: 'f' reads undefined net "
+                                 r"'ghost' as fanin"):
+            read_blif(text)
+
+    def test_latch_missing_data_has_line(self):
+        text = ".model t\n.latch d q 0\n.outputs q\n.end\n"
+        with pytest.raises(BlifError,
+                           match=r"line 2: 'q' reads undefined net "
+                                 r"'d' as latch data"):
+            read_blif(text)
+
+    def test_undefined_output(self):
+        text = ".model t\n.inputs a\n.outputs nowhere\n.end\n"
+        with pytest.raises(BlifError,
+                           match="'nowhere' is never defined"):
+            read_blif(text)
+
+    def test_cover_width_mismatch_has_line(self):
+        text = (".model t\n.inputs a\n.outputs f\n"
+                ".names a f\n11 1\n.end\n")
+        with pytest.raises(BlifError, match="line 5"):
+            read_blif(text)
+
+    def test_check_false_loads_broken_input(self):
+        text = (".model t\n.inputs a\n.outputs f\n"
+                ".names a ghost f\n11 1\n.end\n")
+        net = read_blif(text, check=False)
+        assert "f" in net.nodes and "ghost" not in net.nodes
+
+    def test_blif_error_is_netlist_error(self):
+        from repro.logic.netlist import NetlistError
+
+        assert issubclass(BlifError, NetlistError)
+
+    def test_continuation_reports_first_line(self):
+        text = (".model t\n.inputs a\n.outputs f\n"
+                ".names a \\\nghost f\n11 1\n.end\n")
+        with pytest.raises(BlifError, match="line 4"):
+            read_blif(text)

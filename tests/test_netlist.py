@@ -203,3 +203,61 @@ class TestStructure:
         net = small_net()
         # AND = 6, NOT = 2
         assert net.num_transistors() == 8
+
+
+class TestCycleDiagnostics:
+    def test_cycle_error_names_the_path(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("x", GateType.AND, ["a", "y"])
+        net.add_gate("y", GateType.BUF, ["x"])
+        with pytest.raises(NetlistError,
+                           match="combinational cycle: "):
+            net.topo_order()
+        try:
+            net.topo_order()
+        except NetlistError as exc:
+            msg = str(exc)
+        path = msg.split(": ", 1)[1].split(" -> ")
+        assert path[0] == path[-1]
+        assert set(path) == {"x", "y"}
+
+    def test_self_loop_named(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("x", GateType.AND, ["a", "x"])
+        with pytest.raises(NetlistError, match="x -> x"):
+            net.topo_order()
+
+
+class TestEditAudit:
+    def test_replace_everywhere_dedups_outputs(self):
+        net = small_net()
+        net.add_gate("h2", GateType.NOT, ["g"])
+        net.set_output("h2")
+        # both h and h2 are POs; redirecting h2 onto h must not
+        # leave h listed twice
+        net.replace_everywhere("h2", "h")
+        assert net.outputs == ["h"]
+
+    def test_replace_everywhere_plain_rename_keeps_order(self):
+        net = small_net()
+        net.add_input("c")
+        net.set_output("c")
+        net.replace_everywhere("c", "h")
+        assert net.outputs == ["h"]
+
+    def test_sweep_then_check_is_clean(self):
+        net = small_net()
+        net.add_gate("d1", GateType.OR, ["a", "b"])
+        net.add_gate("d2", GateType.NOT, ["d1"])
+        removed = net.sweep()
+        assert removed == 2
+        net.check()   # no stale references survive the sweep
+
+    def test_remove_latch_drops_record(self):
+        net = Network()
+        net.add_input("d")
+        net.add_latch("d", "q")
+        net.remove_node("q")
+        assert net.latches == [] and "q" not in net.nodes
